@@ -1,0 +1,107 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 1–4, sub-figures a/b/c) end to end: it synthesizes the
+// workloads, runs every algorithm/b combination with averaging, and emits
+// tidy CSV files plus terminal summaries and ASCII charts.
+//
+// Usage:
+//
+//	experiments [-figure all|fig1a|…] [-scale 1.0] [-reps 5] [-seed 1]
+//	            [-outdir results] [-chart]
+//
+// The full-scale run (-scale 1.0) replays up to 1.75M requests per figure;
+// use -scale 0.1 for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"obm/internal/figures"
+	"obm/internal/sim"
+)
+
+func main() {
+	var (
+		figureID = flag.String("figure", "all", "figure to run (fig1a…fig4c, ext-…), 'all' (paper figures), or 'extras'")
+		scale    = flag.Float64("scale", 1.0, "request-count scale factor in (0,1]")
+		reps     = flag.Int("reps", 5, "repetitions to average (paper: 5)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		outdir   = flag.String("outdir", "results", "directory for CSV output")
+		chart    = flag.Bool("chart", true, "print ASCII charts")
+		parallel = flag.Int("parallel", 0, "worker pool size for cost figures (0 = sequential; "+
+			"execution-time figures always run sequentially for clean timings)")
+	)
+	flag.Parse()
+
+	var figs []figures.Figure
+	switch *figureID {
+	case "all":
+		figs = figures.All()
+	case "extras":
+		figs = figures.Extras()
+	default:
+		f, err := figures.ByID(*figureID)
+		if err != nil {
+			fatal(err)
+		}
+		figs = []figures.Figure{f}
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, f := range figs {
+		if err := runFigure(f, *scale, *reps, *seed, *outdir, *chart, *parallel); err != nil {
+			fatal(fmt.Errorf("%s: %w", f.ID, err))
+		}
+	}
+}
+
+func runFigure(f figures.Figure, scale float64, reps int, seed uint64, outdir string, chart bool, parallel int) error {
+	fmt.Printf("=== %s: %s ===\n", f.ID, f.Title)
+	start := time.Now()
+	cfg, specs, err := f.Build(scale, reps, seed)
+	if err != nil {
+		return err
+	}
+	var res *sim.Result
+	if parallel > 0 && f.Metric != figures.ExecutionTime {
+		res, err = sim.RunExperimentParallel(cfg, specs, parallel)
+	} else {
+		res, err = sim.RunExperiment(cfg, specs)
+	}
+	if err != nil {
+		return err
+	}
+	for _, row := range res.SummaryRows() {
+		fmt.Println("  " + row)
+	}
+	if chart {
+		value := func(a sim.Averaged, i int) float64 { return a.Routing[i] }
+		title := "cumulative routing cost"
+		if f.Metric == figures.ExecutionTime {
+			// Execution time is a scalar per curve; chart routing anyway and
+			// rely on the summary rows for times.
+			title = "cumulative routing cost (see rows above for times)"
+		}
+		fmt.Println(sim.ASCIIChart(title, res.Curves, 64, 14, value))
+	}
+	path := filepath.Join(outdir, f.ID+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := res.WriteCSV(file); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s (%.1fs)\n\n", path, time.Since(start).Seconds())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

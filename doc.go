@@ -1,0 +1,11 @@
+// Package obm is a from-scratch Go reproduction of "Optimizing
+// Reconfigurable Optical Datacenters: The Power of Randomization"
+// (Bienkowski, Fuchssteiner, Schmid; SC 2023): the randomized online
+// (b,a)-matching algorithm R-BMA, its deterministic and offline baselines,
+// the datacenter-topology and workload substrates, and a benchmark harness
+// regenerating every figure of the paper's evaluation.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The library lives under
+// internal/; the runnable entry points are cmd/ and examples/.
+package obm

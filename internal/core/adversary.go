@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/trace"
+)
+
+// AdaptiveAdversary generates the request sequence that separates
+// deterministic from randomized online algorithms (the Θ(b) vs O(log b)
+// gap, Theorems 2 and 4): on a star with b+1 leaves it watches the
+// algorithm's matching and always requests a hub–leaf pair that is
+// currently *unmatched*. A deterministic algorithm can be tracked exactly
+// and misses every block; a randomized algorithm cannot (against an
+// oblivious adversary), but this adaptive variant still exhibits the
+// worst-case pressure on both.
+//
+// target is queried through its public Matched method only. blockLen
+// requests are issued per chosen pair (blockLen = α makes each block
+// exactly one rent-or-buy unit; blockLen = k_e forwards exactly once).
+// The generated requests are served on target as they are produced, and
+// also returned for replay against other algorithms.
+func AdaptiveAdversary(target Algorithm, nLeaves, blocks, blockLen int) (*trace.Trace, error) {
+	if nLeaves < 2 {
+		return nil, fmt.Errorf("core: adversary needs nLeaves >= 2")
+	}
+	if blocks < 1 || blockLen < 1 {
+		return nil, fmt.Errorf("core: adversary needs blocks, blockLen >= 1")
+	}
+	reqs := make([]trace.Request, 0, blocks*blockLen)
+	for blk := 0; blk < blocks; blk++ {
+		// Find an unmatched hub–leaf pair; the degree cap guarantees one
+		// exists whenever nLeaves > b.
+		leaf := -1
+		for cand := 1; cand <= nLeaves; cand++ {
+			if !target.Matched(0, cand) {
+				leaf = cand
+				break
+			}
+		}
+		if leaf == -1 {
+			// Fully matched (nLeaves <= b): rotate deterministically.
+			leaf = 1 + blk%nLeaves
+		}
+		for j := 0; j < blockLen; j++ {
+			reqs = append(reqs, trace.Request{Src: 0, Dst: int32(leaf)})
+			target.Serve(0, leaf)
+		}
+	}
+	return &trace.Trace{
+		Name:     fmt.Sprintf("adversary(star %d leaves)", nLeaves),
+		NumRacks: nLeaves + 1,
+		Reqs:     reqs,
+	}, nil
+}

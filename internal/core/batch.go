@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/matching"
+	"obm/internal/trace"
+)
+
+// Batch is a dynamic-but-offline-flavored baseline in the style of the
+// batch/dynamic heavy-matching systems the paper cites as related work
+// (Hanauer et al., INFOCOM 2022/2023): every Window requests it recomputes
+// a maximum-weight b-matching from the recent demand (exponentially decayed
+// pair counts) and reconfigures to it, paying α per changed edge. Between
+// recomputations the matching is static.
+//
+// Batch trades reconfiguration burstiness against matching quality: small
+// windows track demand closely but reconfigure often; large windows
+// amortize reconfiguration but lag behind shifts. It complements the
+// request-by-request online algorithms in ablation studies.
+type Batch struct {
+	n, b   int
+	model  CostModel
+	window int
+	decay  float64
+
+	m      *matching.BMatching
+	counts map[trace.PairKey]float64
+	since  int
+}
+
+// NewBatch constructs the windowed-recompute baseline. window is the number
+// of requests between recomputations; decay in (0,1] is the multiplicative
+// weight applied to historical counts at each recomputation (1 = cumulative
+// counts, smaller = more recency-biased).
+func NewBatch(n, b int, model CostModel, window int, decay float64) (*Batch, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: NewBatch requires n >= 2")
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("core: NewBatch requires b >= 1")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("core: NewBatch requires window >= 1")
+	}
+	if decay <= 0 || decay > 1 {
+		return nil, fmt.Errorf("core: NewBatch requires decay in (0,1]")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Metric.N() < n {
+		return nil, fmt.Errorf("core: metric covers %d racks, need %d", model.Metric.N(), n)
+	}
+	a := &Batch{n: n, b: b, model: model, window: window, decay: decay}
+	a.Reset()
+	return a, nil
+}
+
+// Name implements Algorithm.
+func (a *Batch) Name() string { return fmt.Sprintf("batch[w=%d]", a.window) }
+
+// B implements Algorithm.
+func (a *Batch) B() int { return a.b }
+
+// Matched implements Algorithm.
+func (a *Batch) Matched(u, v int) bool { return a.m.Has(trace.MakePairKey(u, v)) }
+
+// MatchingSize implements Algorithm.
+func (a *Batch) MatchingSize() int { return a.m.Size() }
+
+func (a *Batch) bmatching() *matching.BMatching { return a.m }
+
+// Reset implements Algorithm.
+func (a *Batch) Reset() {
+	a.m = matching.NewBMatching(a.n, a.b)
+	a.counts = make(map[trace.PairKey]float64)
+	a.since = 0
+}
+
+// Serve implements Algorithm.
+func (a *Batch) Serve(u, v int) Step {
+	k := trace.MakePairKey(u, v)
+	var step Step
+	step.RoutingCost = a.model.RouteCost(k, a.m.Has(k))
+	// Weight demand by the saving a matching edge would provide.
+	a.counts[k] += float64(a.model.Metric.Dist(u, v) - 1)
+	a.since++
+	if a.since < a.window {
+		return step
+	}
+	a.since = 0
+	adds, removals := a.recompute()
+	step.Adds += adds
+	step.Removals += removals
+	return step
+}
+
+// recompute rebuilds the matching from decayed counts and returns the
+// number of edge additions and removals performed.
+func (a *Batch) recompute() (adds, removals int) {
+	edges := make([]matching.WeightedEdge, 0, len(a.counts))
+	for k, w := range a.counts {
+		if w <= 0 {
+			continue
+		}
+		u, v := k.Endpoints()
+		edges = append(edges, matching.WeightedEdge{U: u, V: v, W: w})
+	}
+	target := matching.GreedyBMatching(a.n, edges, a.b)
+	want := make(map[trace.PairKey]struct{}, len(target))
+	for _, k := range target {
+		want[k] = struct{}{}
+	}
+	for _, k := range a.m.Edges() {
+		if _, keep := want[k]; !keep {
+			if err := a.m.Remove(k); err != nil {
+				panic(fmt.Sprintf("core: Batch removing %v: %v", k, err))
+			}
+			removals++
+		}
+	}
+	for k := range want {
+		if !a.m.Has(k) {
+			if err := a.m.Add(k); err != nil {
+				panic(fmt.Sprintf("core: Batch adding %v: %v", k, err))
+			}
+			adds++
+		}
+	}
+	for k := range a.counts {
+		a.counts[k] *= a.decay
+		if a.counts[k] < 1e-9 {
+			delete(a.counts, k)
+		}
+	}
+	return adds, removals
+}
+
+// GreedyNoEvict is the simplest demand-aware baseline: the first time a
+// pair is requested with both endpoints below their degree cap, it is
+// matched — and never evicted. Cheap, but unable to adapt once capacity
+// fills; its gap to R-BMA isolates the value of eviction.
+type GreedyNoEvict struct {
+	n, b  int
+	model CostModel
+	m     *matching.BMatching
+}
+
+// NewGreedyNoEvict constructs the no-eviction baseline.
+func NewGreedyNoEvict(n, b int, model CostModel) (*GreedyNoEvict, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: NewGreedyNoEvict requires n >= 2")
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("core: NewGreedyNoEvict requires b >= 1")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Metric.N() < n {
+		return nil, fmt.Errorf("core: metric covers %d racks, need %d", model.Metric.N(), n)
+	}
+	a := &GreedyNoEvict{n: n, b: b, model: model}
+	a.Reset()
+	return a, nil
+}
+
+// Name implements Algorithm.
+func (a *GreedyNoEvict) Name() string { return "greedy-noevict" }
+
+// B implements Algorithm.
+func (a *GreedyNoEvict) B() int { return a.b }
+
+// Matched implements Algorithm.
+func (a *GreedyNoEvict) Matched(u, v int) bool { return a.m.Has(trace.MakePairKey(u, v)) }
+
+// MatchingSize implements Algorithm.
+func (a *GreedyNoEvict) MatchingSize() int { return a.m.Size() }
+
+func (a *GreedyNoEvict) bmatching() *matching.BMatching { return a.m }
+
+// Reset implements Algorithm.
+func (a *GreedyNoEvict) Reset() { a.m = matching.NewBMatching(a.n, a.b) }
+
+// Serve implements Algorithm.
+func (a *GreedyNoEvict) Serve(u, v int) Step {
+	k := trace.MakePairKey(u, v)
+	var step Step
+	if a.m.Has(k) {
+		step.RoutingCost = 1
+		return step
+	}
+	step.RoutingCost = a.model.RouteCost(k, false)
+	if a.m.Free(u) > 0 && a.m.Free(v) > 0 {
+		if err := a.m.Add(k); err != nil {
+			panic(fmt.Sprintf("core: GreedyNoEvict adding %v: %v", k, err))
+		}
+		step.Adds++
+	}
+	return step
+}

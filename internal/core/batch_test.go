@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"obm/internal/trace"
+)
+
+func TestBatchConstructorValidation(t *testing.T) {
+	model := testModel(10, 30)
+	cases := []struct {
+		n, b, window int
+		decay        float64
+	}{
+		{1, 2, 100, 0.5},
+		{10, 0, 100, 0.5},
+		{10, 2, 0, 0.5},
+		{10, 2, 100, 0},
+		{10, 2, 100, 1.5},
+	}
+	for i, c := range cases {
+		if _, err := NewBatch(c.n, c.b, model, c.window, c.decay); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewBatch(10, 2, model, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchRecomputesOnWindow(t *testing.T) {
+	model := testModel(10, 30)
+	a, err := NewBatch(10, 2, model, 50, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 49 requests: no reconfiguration yet.
+	var adds int
+	for i := 0; i < 49; i++ {
+		st := a.Serve(0, 5)
+		adds += st.Adds
+	}
+	if adds != 0 {
+		t.Fatal("Batch reconfigured before the window closed")
+	}
+	st := a.Serve(0, 5) // 50th: recompute
+	if st.Adds != 1 || !a.Matched(0, 5) {
+		t.Fatalf("Batch should have matched the dominant pair: %+v", st)
+	}
+}
+
+func TestBatchTracksShiftingDemand(t *testing.T) {
+	model := testModel(10, 30)
+	a, err := NewBatch(10, 1, model, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		a.Serve(0, 5)
+	}
+	if !a.Matched(0, 5) {
+		t.Fatal("phase 1 pair not matched")
+	}
+	// Demand shifts to a conflicting pair at node 0.
+	for i := 0; i < 600; i++ {
+		a.Serve(0, 7)
+	}
+	if !a.Matched(0, 7) {
+		t.Fatal("Batch failed to follow the demand shift")
+	}
+	if a.Matched(0, 5) {
+		t.Fatal("stale edge kept despite b=1 conflict")
+	}
+	if err := CheckDegreeInvariant(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchInvariantsOnWorkload(t *testing.T) {
+	model := testModel(12, 30)
+	a, _ := NewBatch(12, 3, model, 200, 0.8)
+	tr, _ := trace.FacebookStyle(trace.FacebookPreset(trace.WebService, 12, 3))
+	for i, req := range tr.Prefix(20000).Reqs {
+		a.Serve(int(req.Src), int(req.Dst))
+		if i%500 == 0 {
+			if err := CheckDegreeInvariant(a); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if a.MatchingSize() == 0 {
+		t.Fatal("Batch never matched anything")
+	}
+}
+
+func TestGreedyNoEvictNeverRemoves(t *testing.T) {
+	model := testModel(10, 30)
+	a, err := NewGreedyNoEvict(10, 1, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Serve(0, 5)
+	if st.Adds != 1 {
+		t.Fatal("first request should match")
+	}
+	// Conflicting pair at node 0: must be refused, never evict.
+	for i := 0; i < 1000; i++ {
+		st := a.Serve(0, 7)
+		if st.Adds != 0 || st.Removals != 0 {
+			t.Fatal("no-evict baseline reconfigured")
+		}
+	}
+	if !a.Matched(0, 5) || a.Matched(0, 7) {
+		t.Fatal("matching changed")
+	}
+}
+
+func TestGreedyNoEvictWorseThanRBMAOnShiftingDemand(t *testing.T) {
+	// Two successive permutation patterns: no-evict locks onto the first
+	// and pays full price for the second; R-BMA adapts.
+	model := testModel(16, 30)
+	tr1 := trace.Permutation(16, 15000, 1)
+	tr2 := trace.Permutation(16, 15000, 9) // different permutation
+	reqs := append(append([]trace.Request{}, tr1.Reqs...), tr2.Reqs...)
+	tr := &trace.Trace{NumRacks: 16, Reqs: reqs}
+
+	run := func(alg Algorithm) float64 {
+		var sum float64
+		for _, req := range tr.Reqs {
+			sum += alg.Serve(int(req.Src), int(req.Dst)).Total(model.Alpha)
+		}
+		return sum
+	}
+	ge, _ := NewGreedyNoEvict(16, 1, model)
+	geCost := run(ge)
+	r, _ := NewRBMA(16, 1, model, 4)
+	rCost := run(r)
+	if rCost >= geCost {
+		t.Fatalf("R-BMA (%v) should beat no-evict (%v) on shifting demand", rCost, geCost)
+	}
+}
+
+func TestBatchAndGreedyNames(t *testing.T) {
+	model := testModel(10, 30)
+	a, _ := NewBatch(10, 2, model, 75, 0.5)
+	if a.Name() != "batch[w=75]" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	g, _ := NewGreedyNoEvict(10, 2, model)
+	if g.Name() != "greedy-noevict" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	if g.B() != 2 || a.B() != 2 {
+		t.Fatal("B() wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/matching"
+	"obm/internal/trace"
+)
+
+// BMA is the deterministic online b-matching baseline of Bienkowski,
+// Fuchssteiner, Marcinkowski and Schmid (PERFORMANCE 2020), reimplemented
+// from its description: a rent-or-buy counter scheme with min-counter
+// eviction.
+//
+//   - Every unmatched pair accumulates the routing cost it pays. Once a
+//     pair's accumulated cost reaches α it becomes a candidate: buying the
+//     edge would have been no more expensive than the rent already paid.
+//   - A candidate is inserted if both endpoints have spare capacity.
+//     At a saturated endpoint, the incident matching edge with the smallest
+//     defense counter is evicted — but only if the candidate's counter
+//     exceeds that defense; otherwise insertion is deferred and the
+//     candidate keeps accumulating (and keeps re-trying on every request,
+//     which is the Θ(b) scan that makes BMA measurably slower than R-BMA
+//     and sensitive to b, as the paper's Figures 1b–4b show).
+//   - An inserted edge's defense counter starts at α and decays by the
+//     evicted edges' accounting: on eviction a pair's counters reset, so it
+//     must re-earn its place. This gives the O(b) competitive behaviour of
+//     the original (each matched edge can deflect at most b candidates).
+type BMA struct {
+	n, b  int
+	model CostModel
+
+	m       *matching.BMatching
+	rent    map[trace.PairKey]float64 // accumulated routing cost while unmatched
+	defense map[trace.PairKey]float64 // defense counter of matched edges
+}
+
+// NewBMA constructs the deterministic baseline.
+func NewBMA(n, b int, model CostModel) (*BMA, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: NewBMA requires n >= 2, got %d", n)
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("core: NewBMA requires b >= 1, got %d", b)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Metric.N() < n {
+		return nil, fmt.Errorf("core: metric covers %d racks, need %d", model.Metric.N(), n)
+	}
+	a := &BMA{n: n, b: b, model: model}
+	a.Reset()
+	return a, nil
+}
+
+// Name implements Algorithm.
+func (a *BMA) Name() string { return "bma" }
+
+// B implements Algorithm.
+func (a *BMA) B() int { return a.b }
+
+// Matched implements Algorithm.
+func (a *BMA) Matched(u, v int) bool { return a.m.Has(trace.MakePairKey(u, v)) }
+
+// MatchingSize implements Algorithm.
+func (a *BMA) MatchingSize() int { return a.m.Size() }
+
+func (a *BMA) bmatching() *matching.BMatching { return a.m }
+
+// Reset implements Algorithm.
+func (a *BMA) Reset() {
+	a.m = matching.NewBMatching(a.n, a.b)
+	a.rent = make(map[trace.PairKey]float64)
+	a.defense = make(map[trace.PairKey]float64)
+}
+
+// Serve implements Algorithm.
+func (a *BMA) Serve(u, v int) Step {
+	k := trace.MakePairKey(u, v)
+	var step Step
+	if a.m.Has(k) {
+		step.RoutingCost = 1
+		// A matched edge that keeps being used strengthens its defense,
+		// up to one reconfiguration's worth.
+		if a.defense[k] < a.model.Alpha {
+			a.defense[k]++
+		}
+		return step
+	}
+	le := a.model.RouteCost(k, false)
+	step.RoutingCost = le
+	a.rent[k] += le
+	// The original BMA evaluates the insertion condition on every request
+	// to an unmatched pair, which requires finding the weakest incident
+	// matching edge at both endpoints — a Θ(b) scan per request. This scan
+	// is the reason BMA's running time grows with b in the paper's
+	// Figures 1b–4b, so it is reproduced faithfully here rather than
+	// short-circuited behind the rent threshold.
+	victims, ok := a.findVictims(k)
+	if !ok || a.rent[k] < a.model.Alpha {
+		return step
+	}
+	for _, q := range victims {
+		if err := a.m.Remove(q); err != nil {
+			panic(fmt.Sprintf("core: BMA removing %v: %v", q, err))
+		}
+		delete(a.defense, q)
+		a.rent[q] = 0
+		step.Removals++
+	}
+	if err := a.m.Add(k); err != nil {
+		panic(fmt.Sprintf("core: BMA adding %v: %v", k, err))
+	}
+	step.Adds++
+	a.defense[k] = a.model.Alpha
+	a.rent[k] = 0
+	return step
+}
+
+// findVictims determines whether candidate k can be inserted, returning the
+// matching edges that must be evicted first (at most one per saturated
+// endpoint). Insertion is refused if a saturated endpoint's weakest
+// incident edge defends with a counter at least as large as the
+// candidate's rent. The scan over incident edges is deliberately the
+// original's Θ(b) per attempt.
+func (a *BMA) findVictims(k trace.PairKey) ([]trace.PairKey, bool) {
+	u, v := k.Endpoints()
+	var victims []trace.PairKey
+	for _, w := range [2]int{u, v} {
+		if a.m.Free(w) > 0 {
+			continue
+		}
+		var weakest trace.PairKey
+		weakestDef := -1.0
+		a.m.ForEachIncident(w, func(q trace.PairKey) bool {
+			d := a.defense[q]
+			// Tie-break on the pair key for deterministic runs (the
+			// incidence set iterates in map order).
+			if weakestDef < 0 || d < weakestDef || (d == weakestDef && q < weakest) {
+				weakest, weakestDef = q, d
+			}
+			return true
+		})
+		if a.rent[k] <= weakestDef {
+			return nil, false
+		}
+		victims = append(victims, weakest)
+	}
+	// The two victims could coincide only if they were the same pair
+	// incident to both u and v, i.e. the pair {u,v} itself — impossible
+	// since k is unmatched. A victim incident to both endpoints cannot
+	// occur for distinct pairs.
+	return victims, true
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/paging"
+	"obm/internal/trace"
+)
+
+// NewClairvoyantRBMA builds an R-BMA variant whose per-node caches run
+// Belady's offline-optimal MIN instead of randomized marking. It explores
+// the paper's future-work question (§5) of how much algorithms could gain
+// from (perfect) predictions of future demand: the reduction structure is
+// unchanged, only the eviction decisions become clairvoyant.
+//
+// Because MIN needs each cache's full request sequence up front, the trace
+// must be supplied at construction time, and Serve must be called with
+// exactly the trace's requests in order. The per-node sequences are fully
+// determined by the trace and the deterministic k_e-forwarding of the
+// uniform reduction, so they can be precomputed exactly.
+func NewClairvoyantRBMA(tr *trace.Trace, b int, model CostModel) (*RBMA, error) {
+	perNode, err := forwardedSequences(tr, model)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewRBMA(tr.NumRacks, b, model, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Swap in MIN caches after construction. Note that Reset would restore
+	// marking caches; a clairvoyant instance is single-use by design (its
+	// caches must be replayed from the start of their sequences anyway).
+	for v := range r.caches {
+		r.caches[v] = paging.NewMIN(b, perNode[v])
+	}
+	r.name = "r-bma[clairvoyant]"
+	return r, nil
+}
+
+// NewPredictiveRBMA is R-BMA with noisy-prediction caches: each node evicts
+// by predicted next use, where predictions are the truth perturbed by
+// log-normal noise of magnitude sigma (paging.Predictive). sigma = 0 is the
+// clairvoyant variant; growing sigma degrades gracefully towards random
+// eviction. Single-use, like NewClairvoyantRBMA.
+func NewPredictiveRBMA(tr *trace.Trace, b int, model CostModel, sigma float64, seed uint64) (*RBMA, error) {
+	perNode, err := forwardedSequences(tr, model)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewRBMA(tr.NumRacks, b, model, seed)
+	if err != nil {
+		return nil, err
+	}
+	master := seed
+	for v := range r.caches {
+		master = master*0x9e3779b97f4a7c15 + uint64(v) + 1
+		r.caches[v] = paging.NewPredictive(b, perNode[v], sigma, master)
+	}
+	r.name = fmt.Sprintf("r-bma[pred σ=%g]", sigma)
+	return r, nil
+}
+
+// forwardedSequences replays the k_e-forwarding of the uniform reduction to
+// extract each node's paging request sequence.
+func forwardedSequences(tr *trace.Trace, model CostModel) ([][]uint64, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Metric.N() < tr.NumRacks {
+		return nil, fmt.Errorf("core: metric covers %d racks, trace needs %d", model.Metric.N(), tr.NumRacks)
+	}
+	perNode := make([][]uint64, tr.NumRacks)
+	counter := make(map[trace.PairKey]int)
+	for _, req := range tr.Reqs {
+		k := req.Key()
+		u, v := k.Endpoints()
+		le := float64(model.Metric.Dist(u, v))
+		ke := int(math.Ceil(model.Alpha / le))
+		counter[k]++
+		if counter[k] < ke {
+			continue
+		}
+		counter[k] = 0
+		perNode[u] = append(perNode[u], uint64(k))
+		perNode[v] = append(perNode[v], uint64(k))
+	}
+	return perNode, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/matching"
+	"obm/internal/trace"
+)
+
+// Oblivious is the no-reconfiguration baseline: every request is routed
+// over the static network (the violet "Oblivious" line in the paper's
+// routing-cost figures).
+type Oblivious struct {
+	model CostModel
+}
+
+// NewOblivious constructs the oblivious baseline.
+func NewOblivious(model CostModel) (*Oblivious, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Oblivious{model: model}, nil
+}
+
+// Name implements Algorithm.
+func (o *Oblivious) Name() string { return "oblivious" }
+
+// B implements Algorithm.
+func (o *Oblivious) B() int { return 0 }
+
+// Serve implements Algorithm.
+func (o *Oblivious) Serve(u, v int) Step {
+	return Step{RoutingCost: o.model.RouteCost(trace.MakePairKey(u, v), false)}
+}
+
+// Matched implements Algorithm.
+func (o *Oblivious) Matched(u, v int) bool { return false }
+
+// MatchingSize implements Algorithm.
+func (o *Oblivious) MatchingSize() int { return 0 }
+
+// Reset implements Algorithm.
+func (o *Oblivious) Reset() {}
+
+// Static replays a fixed matching chosen offline: the paper's SO-BMA
+// baseline, which computes a static maximum-weight b-matching from the
+// full trace (via iterated blossom matchings) and never reconfigures.
+type Static struct {
+	name  string
+	b     int
+	model CostModel
+	edges map[trace.PairKey]struct{}
+	n     int
+}
+
+// NewStaticFromTrace builds SO-BMA for a trace: pair weights are the total
+// routing-cost saving the pair would enjoy if matched, count_e · (ℓ_e − 1),
+// and the matching is a maximum-weight b-matching of those weights.
+func NewStaticFromTrace(tr *trace.Trace, b int, model CostModel) (*Static, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("core: NewStaticFromTrace requires b >= 1")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Metric.N() < tr.NumRacks {
+		return nil, fmt.Errorf("core: metric covers %d racks, trace needs %d", model.Metric.N(), tr.NumRacks)
+	}
+	counts := tr.PairCounts()
+	edges := make([]matching.WeightedEdge, 0, len(counts))
+	for k, c := range counts {
+		u, v := k.Endpoints()
+		benefit := float64(c) * float64(model.Metric.Dist(u, v)-1)
+		if benefit > 0 {
+			edges = append(edges, matching.WeightedEdge{U: u, V: v, W: benefit})
+		}
+	}
+	chosen := matching.IteratedMWM(tr.NumRacks, edges, b)
+	s := &Static{
+		name:  "so-bma",
+		b:     b,
+		model: model,
+		edges: make(map[trace.PairKey]struct{}, len(chosen)),
+		n:     tr.NumRacks,
+	}
+	for _, k := range chosen {
+		s.edges[k] = struct{}{}
+	}
+	return s, nil
+}
+
+// Name implements Algorithm.
+func (s *Static) Name() string { return s.name }
+
+// B implements Algorithm.
+func (s *Static) B() int { return s.b }
+
+// Serve implements Algorithm.
+func (s *Static) Serve(u, v int) Step {
+	k := trace.MakePairKey(u, v)
+	_, matched := s.edges[k]
+	return Step{RoutingCost: s.model.RouteCost(k, matched)}
+}
+
+// Matched implements Algorithm.
+func (s *Static) Matched(u, v int) bool {
+	_, ok := s.edges[trace.MakePairKey(u, v)]
+	return ok
+}
+
+// MatchingSize implements Algorithm.
+func (s *Static) MatchingSize() int { return len(s.edges) }
+
+// Reset implements Algorithm. The matching is static, so nothing changes.
+func (s *Static) Reset() {}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/trace"
+)
+
+// OfflineOPT computes the exact optimal offline cost of serving the trace
+// while maintaining an a-matching (degree cap a), by dynamic programming
+// over all feasible matchings. The state space is exponential in the number
+// of node pairs, so this is intended for small instances (it refuses to run
+// when more than maxStates matchings exist). It is the denominator for the
+// empirical competitive-ratio experiments, matching the paper's Opt(σ)
+// with the (b,a) resource-augmentation setting of §1.1.
+func OfflineOPT(tr *trace.Trace, a int, model CostModel, maxStates int) (float64, error) {
+	if err := tr.Validate(); err != nil {
+		return 0, err
+	}
+	if err := model.Validate(); err != nil {
+		return 0, err
+	}
+	if a < 1 {
+		return 0, fmt.Errorf("core: OfflineOPT requires a >= 1")
+	}
+	n := tr.NumRacks
+	// Enumerate all pairs.
+	var pairs []trace.PairKey
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, trace.MakePairKey(u, v))
+		}
+	}
+	if len(pairs) > 20 {
+		return 0, fmt.Errorf("core: OfflineOPT limited to 20 pairs, have %d", len(pairs))
+	}
+	// Enumerate feasible matchings as bitmasks over pairs.
+	var states []uint32
+	for mask := uint32(0); mask < 1<<len(pairs); mask++ {
+		if feasibleMask(mask, pairs, n, a) {
+			states = append(states, mask)
+			if len(states) > maxStates {
+				return 0, fmt.Errorf("core: OfflineOPT state space exceeds %d", maxStates)
+			}
+		}
+	}
+	stateIndex := make(map[uint32]int, len(states))
+	for i, s := range states {
+		stateIndex[s] = i
+	}
+	// Reconfiguration cost between two states: α per differing pair.
+	reconf := func(a, b uint32) float64 {
+		return model.Alpha * float64(popcount32(a^b))
+	}
+	pairBit := make(map[trace.PairKey]uint32, len(pairs))
+	for i, p := range pairs {
+		pairBit[p] = 1 << uint(i)
+	}
+	// DP: cost[i] = minimal cost ending in states[i].
+	cost := make([]float64, len(states))
+	next := make([]float64, len(states))
+	for i, s := range states {
+		// Initial matching is empty; pay to configure s up front.
+		cost[i] = reconf(0, s)
+	}
+	for _, req := range tr.Reqs {
+		k := req.Key()
+		bit := pairBit[k]
+		route := func(s uint32) float64 {
+			return model.RouteCost(k, s&bit != 0)
+		}
+		// First pay routing in the current state, then optionally move.
+		// (Paper: the request is served, then the matching may change.)
+		for i, s := range states {
+			cost[i] += route(s)
+			_ = s
+		}
+		// Relax transitions: next[j] = min_i cost[i] + reconf(i, j).
+		// O(S²) per request; fine at these sizes.
+		for j, sj := range states {
+			best := math.Inf(1)
+			for i, si := range states {
+				if c := cost[i] + reconf(si, sj); c < best {
+					best = c
+				}
+			}
+			next[j] = best
+		}
+		cost, next = next, cost
+	}
+	best := math.Inf(1)
+	for _, c := range cost {
+		if c < best {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+func feasibleMask(mask uint32, pairs []trace.PairKey, n, a int) bool {
+	deg := make([]int, n)
+	for i, p := range pairs {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		u, v := p.Endpoints()
+		deg[u]++
+		deg[v]++
+		if deg[u] > a || deg[v] > a {
+			return false
+		}
+	}
+	return true
+}
+
+func popcount32(x uint32) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"obm/internal/trace"
+)
+
+func TestPredictiveRBMASigmaZeroMatchesClairvoyant(t *testing.T) {
+	model := testModel(10, 30)
+	tr, _ := trace.FacebookStyle(trace.FacebookPreset(trace.Database, 10, 17))
+	tr = tr.Prefix(15000)
+	run := func(alg Algorithm) float64 {
+		var sum float64
+		for _, req := range tr.Reqs {
+			sum += alg.Serve(int(req.Src), int(req.Dst)).Total(model.Alpha)
+		}
+		return sum
+	}
+	cv, err := NewClairvoyantRBMA(tr, 3, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPredictiveRBMA(tr, 3, model, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvCost, prCost := run(cv), run(pr)
+	// σ=0 predictions equal the truth; eviction tie-breaking differs (MIN
+	// picks an arbitrary farthest item, Predictive the largest key), so
+	// costs match closely but not necessarily exactly.
+	if prCost > cvCost*1.05 || cvCost > prCost*1.05 {
+		t.Fatalf("σ=0 predictive (%v) should track clairvoyant (%v)", prCost, cvCost)
+	}
+}
+
+func TestPredictiveRBMANoiseMonotone(t *testing.T) {
+	model := testModel(10, 30)
+	tr, _ := trace.FacebookStyle(trace.FacebookPreset(trace.WebService, 10, 23))
+	tr = tr.Prefix(20000)
+	cost := func(sigma float64) float64 {
+		var sum float64
+		const seeds = 3
+		for s := uint64(0); s < seeds; s++ {
+			alg, err := NewPredictiveRBMA(tr, 3, model, sigma, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, req := range tr.Reqs {
+				sum += alg.Serve(int(req.Src), int(req.Dst)).Total(model.Alpha)
+			}
+		}
+		return sum / seeds
+	}
+	perfect := cost(0)
+	noisy := cost(8)
+	if noisy < perfect*0.98 {
+		t.Fatalf("heavy noise (%v) should not beat perfect predictions (%v)", noisy, perfect)
+	}
+}
+
+func TestPredictiveRBMARejectsBadInput(t *testing.T) {
+	model := testModel(10, 30)
+	bad := &trace.Trace{NumRacks: 1}
+	if _, err := NewPredictiveRBMA(bad, 2, model, 0, 1); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	tr := trace.Uniform(10, 100, 1)
+	if _, err := NewClairvoyantRBMA(tr, 0, model); err == nil {
+		t.Fatal("b=0 accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/matching"
+	"obm/internal/paging"
+	"obm/internal/stats"
+	"obm/internal/trace"
+)
+
+// RBMA is the paper's randomized online algorithm for (b,a)-matching
+// (§2.2–2.3), built from two reductions:
+//
+//  1. Nonuniform → uniform (Theorem 1): per pair e, only every
+//     k_e = ⌈α/ℓ_e⌉-th request is forwarded to the uniform algorithm, so
+//     reconfiguration decisions happen only after the routing cost paid on
+//     e since the last decision is about α.
+//  2. Uniform → paging (Theorem 2): every node runs an independent paging
+//     cache of capacity b over the node pairs incident to it; the invariant
+//     is that a pair is a matching edge iff it is cached at both endpoints.
+//
+// With randomized-marking caches this yields the
+// O((1+ℓmax/α)·log(b/(b−a+1)))-competitive algorithm R-BMA (Corollary 3).
+//
+// Eviction handling follows the paper's footnote 2: by default removals are
+// lazy — an edge evicted from a cache is only marked, and marked edges are
+// pruned when a node's incident matching edges would exceed b. Eager mode
+// (exact Theorem 2 invariant) is available for analysis and ablations.
+type RBMA struct {
+	name    string
+	n, b    int
+	model   CostModel
+	factory paging.Factory
+	seed    uint64
+
+	caches   []paging.Cache
+	m        *matching.BMatching
+	marked   map[trace.PairKey]struct{} // lazily-removed edges still in m
+	counter  map[trace.PairKey]int      // requests since last special request
+	keByDist []int                      // k_e = ⌈α/ℓ⌉ indexed by distance ℓ
+	lazy     bool
+
+	// ForwardedRequests counts requests passed to the uniform layer
+	// (diagnostics for the reduction's accounting).
+	ForwardedRequests int
+}
+
+// RBMAOption customizes construction.
+type RBMAOption func(*RBMA)
+
+// WithEagerRemoval disables lazy pruning: edges leave the matching the
+// moment either endpoint evicts them (the exact Theorem 2 invariant).
+func WithEagerRemoval() RBMAOption {
+	return func(r *RBMA) { r.lazy = false }
+}
+
+// WithCacheFactory substitutes the paging algorithm run at each node
+// (default: randomized marking). Used by the ablation experiments.
+func WithCacheFactory(f paging.Factory, name string) RBMAOption {
+	return func(r *RBMA) {
+		r.factory = f
+		r.name = "r-bma[" + name + "]"
+	}
+}
+
+// NewRBMA constructs R-BMA for n racks with degree cap b under the given
+// cost model. The seed drives all randomized choices; the same seed yields
+// an identical run.
+func NewRBMA(n, b int, model CostModel, seed uint64, opts ...RBMAOption) (*RBMA, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: NewRBMA requires n >= 2, got %d", n)
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("core: NewRBMA requires b >= 1, got %d", b)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Metric.N() < n {
+		return nil, fmt.Errorf("core: metric covers %d racks, need %d", model.Metric.N(), n)
+	}
+	r := &RBMA{
+		name:    "r-bma",
+		n:       n,
+		b:       b,
+		model:   model,
+		factory: paging.NewMarkingFactory,
+		seed:    seed,
+		lazy:    true,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.Reset()
+	return r, nil
+}
+
+// Name implements Algorithm.
+func (r *RBMA) Name() string { return r.name }
+
+// B implements Algorithm.
+func (r *RBMA) B() int { return r.b }
+
+// Matched implements Algorithm.
+func (r *RBMA) Matched(u, v int) bool { return r.m.Has(trace.MakePairKey(u, v)) }
+
+// MatchingSize implements Algorithm.
+func (r *RBMA) MatchingSize() int { return r.m.Size() }
+
+func (r *RBMA) bmatching() *matching.BMatching { return r.m }
+
+// Reset implements Algorithm.
+func (r *RBMA) Reset() {
+	master := stats.NewRand(r.seed)
+	r.caches = make([]paging.Cache, r.n)
+	for i := range r.caches {
+		r.caches[i] = r.factory(r.b, master.Uint64())
+	}
+	r.m = matching.NewBMatching(r.n, r.b)
+	r.marked = make(map[trace.PairKey]struct{})
+	r.counter = make(map[trace.PairKey]int)
+	r.keByDist = make([]int, r.model.Metric.Max()+1)
+	for d := 1; d < len(r.keByDist); d++ {
+		r.keByDist[d] = int(math.Ceil(r.model.Alpha / float64(d)))
+	}
+	r.ForwardedRequests = 0
+}
+
+// ke returns k_e = ⌈α/ℓ_e⌉ for the pair (Theorem 1's forwarding period).
+func (r *RBMA) ke(k trace.PairKey) int {
+	u, v := k.Endpoints()
+	return r.keByDist[r.model.Metric.Dist(u, v)]
+}
+
+// Serve implements Algorithm.
+func (r *RBMA) Serve(u, v int) Step {
+	k := trace.MakePairKey(u, v)
+	var step Step
+	step.RoutingCost = r.model.RouteCost(k, r.m.Has(k))
+
+	// Nonuniform → uniform reduction: forward only every k_e-th request.
+	r.counter[k]++
+	if r.counter[k] < r.ke(k) {
+		return step
+	}
+	r.counter[k] = 0
+	r.ForwardedRequests++
+
+	// Uniform layer: pass the pair to the paging caches at both endpoints.
+	for _, w := range [2]int{u, v} {
+		evicted, wasEvicted, _ := r.caches[w].Access(uint64(k))
+		if !wasEvicted {
+			continue
+		}
+		q := trace.PairKey(evicted)
+		if !r.m.Has(q) {
+			continue
+		}
+		if r.lazy {
+			r.marked[q] = struct{}{}
+		} else {
+			r.mustRemove(q)
+			step.Removals++
+		}
+	}
+
+	// Maintain the invariant: the requested pair is cached at both
+	// endpoints now, so it must be(come) a matching edge.
+	if r.m.Has(k) {
+		// Lazy mode: a marked edge that is requested again is simply
+		// un-marked; it never left the physical matching.
+		delete(r.marked, k)
+		return step
+	}
+	for _, w := range [2]int{u, v} {
+		if r.m.Free(w) == 0 {
+			step.Removals += r.pruneAt(w)
+		}
+	}
+	if err := r.m.Add(k); err != nil {
+		// Unreachable if the invariants hold; fail loudly rather than
+		// silently corrupting the experiment.
+		panic(fmt.Sprintf("core: R-BMA invariant violation adding %v: %v", k, err))
+	}
+	step.Adds++
+	return step
+}
+
+// pruneAt removes one marked edge incident to node w, returning the number
+// of removals performed (1). In lazy mode a saturated node always has a
+// marked incident edge when a new edge must be added: the unmarked incident
+// edges are all cached at w, and w's cache also holds the pair being added.
+func (r *RBMA) pruneAt(w int) int {
+	// Incident returns edges in map order; pick the smallest key so runs
+	// with the same seed are bit-for-bit reproducible.
+	var victim trace.PairKey
+	found := false
+	for _, q := range r.m.Incident(w) {
+		if _, ok := r.marked[q]; ok && (!found || q < victim) {
+			victim, found = q, true
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("core: R-BMA lazy-pruning invariant violation at node %d", w))
+	}
+	r.mustRemove(victim)
+	return 1
+}
+
+func (r *RBMA) mustRemove(q trace.PairKey) {
+	if err := r.m.Remove(q); err != nil {
+		panic(fmt.Sprintf("core: R-BMA removing %v: %v", q, err))
+	}
+	delete(r.marked, q)
+}
+
+// CheckCacheInvariant verifies the Theorem 2 invariant: every unmarked
+// matching edge is cached at both endpoints, and in eager mode every
+// matching edge is cached at both endpoints. Intended for tests.
+func (r *RBMA) CheckCacheInvariant() error {
+	for _, k := range r.m.Edges() {
+		if _, isMarked := r.marked[k]; isMarked {
+			continue
+		}
+		u, v := k.Endpoints()
+		if !r.caches[u].Contains(uint64(k)) || !r.caches[v].Contains(uint64(k)) {
+			return fmt.Errorf("core: unmarked matching edge %v not cached at both endpoints", k)
+		}
+	}
+	if !r.lazy && len(r.marked) != 0 {
+		return fmt.Errorf("core: eager R-BMA has %d marked edges", len(r.marked))
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/trace"
+)
+
+// Rotor is a demand-oblivious reconfigurable baseline in the style of
+// RotorNet/Sirius (paper §4 related work): each of the b optical switches
+// cycles through a fixed round-robin schedule of perfect matchings,
+// independent of traffic. A request served while its pair happens to be on
+// a live circuit costs 1; everything else takes the static fabric. The b
+// switches are staggered evenly across the schedule, so every node always
+// has b distinct live partners.
+//
+// Rotation follows a fixed period measured in requests (standing in for
+// the fixed-timer rotation of rotor hardware); rotations are not charged
+// reconfiguration cost because rotor switches rotate on a schedule rather
+// than per-decision (documented deviation from the α-model; set
+// ChargeRotations to charge them).
+type Rotor struct {
+	n, b   int
+	model  CostModel
+	period int
+	// ChargeRotations, when true, bills α per edge changed at rotation.
+	ChargeRotations bool
+
+	schedule [][]trace.PairKey     // schedule[r]: matching of round r
+	offsets  []int                 // current round per switch
+	live     map[trace.PairKey]int // live pair -> number of switches serving it
+	since    int
+}
+
+// NewRotor constructs the rotor baseline. n must be >= 2; odd n is handled
+// with a dummy node (one node idles per round). period is the number of
+// requests between rotations.
+func NewRotor(n, b int, model CostModel, period int) (*Rotor, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: NewRotor requires n >= 2")
+	}
+	if b < 1 {
+		return nil, fmt.Errorf("core: NewRotor requires b >= 1")
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("core: NewRotor requires period >= 1")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Metric.N() < n {
+		return nil, fmt.Errorf("core: metric covers %d racks, need %d", model.Metric.N(), n)
+	}
+	r := &Rotor{n: n, b: b, model: model, period: period}
+	r.schedule = roundRobinSchedule(n)
+	if b > len(r.schedule) {
+		return nil, fmt.Errorf("core: NewRotor b=%d exceeds %d distinct rounds", b, len(r.schedule))
+	}
+	r.Reset()
+	return r, nil
+}
+
+// roundRobinSchedule builds the circle-method round-robin tournament: for
+// even m = n (or n+1 with a dummy), m-1 rounds, each a perfect matching on
+// the non-dummy nodes.
+func roundRobinSchedule(n int) [][]trace.PairKey {
+	m := n
+	if m%2 == 1 {
+		m++ // node m-1 is a dummy: its partner idles that round
+	}
+	rounds := make([][]trace.PairKey, 0, m-1)
+	for r := 0; r < m-1; r++ {
+		var round []trace.PairKey
+		// Circle method: node m-1 is fixed, the rest rotate.
+		if r < n && m-1 < n {
+			round = append(round, trace.MakePairKey(m-1, r))
+		}
+		for i := 1; i < m/2; i++ {
+			a := (r + i) % (m - 1)
+			b := (r - i + m - 1) % (m - 1)
+			if a < n && b < n {
+				round = append(round, trace.MakePairKey(a, b))
+			}
+		}
+		rounds = append(rounds, round)
+	}
+	return rounds
+}
+
+// Name implements Algorithm.
+func (r *Rotor) Name() string { return fmt.Sprintf("rotor[p=%d]", r.period) }
+
+// B implements Algorithm.
+func (r *Rotor) B() int { return r.b }
+
+// Matched implements Algorithm.
+func (r *Rotor) Matched(u, v int) bool {
+	return r.live[trace.MakePairKey(u, v)] > 0
+}
+
+// MatchingSize implements Algorithm.
+func (r *Rotor) MatchingSize() int { return len(r.live) }
+
+// Reset implements Algorithm.
+func (r *Rotor) Reset() {
+	r.offsets = make([]int, r.b)
+	stride := len(r.schedule) / r.b
+	if stride == 0 {
+		stride = 1
+	}
+	for s := range r.offsets {
+		r.offsets[s] = (s * stride) % len(r.schedule)
+	}
+	r.live = make(map[trace.PairKey]int)
+	for _, s := range r.offsets {
+		for _, k := range r.schedule[s] {
+			r.live[k]++
+		}
+	}
+	r.since = 0
+}
+
+// Serve implements Algorithm.
+func (r *Rotor) Serve(u, v int) Step {
+	k := trace.MakePairKey(u, v)
+	var step Step
+	step.RoutingCost = r.model.RouteCost(k, r.live[k] > 0)
+	r.since++
+	if r.since < r.period {
+		return step
+	}
+	r.since = 0
+	// Rotate every switch to its next round.
+	for s := range r.offsets {
+		old := r.schedule[r.offsets[s]]
+		r.offsets[s] = (r.offsets[s] + 1) % len(r.schedule)
+		next := r.schedule[r.offsets[s]]
+		for _, q := range old {
+			if r.live[q] == 1 {
+				delete(r.live, q)
+			} else {
+				r.live[q]--
+			}
+			if r.ChargeRotations {
+				step.Removals++
+			}
+		}
+		for _, q := range next {
+			r.live[q]++
+			if r.ChargeRotations {
+				step.Adds++
+			}
+		}
+	}
+	return step
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"obm/internal/trace"
+)
+
+func TestRoundRobinScheduleIsTournament(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 9, 16} {
+		rounds := roundRobinSchedule(n)
+		seen := map[trace.PairKey]int{}
+		for ri, round := range rounds {
+			deg := map[int]int{}
+			for _, k := range round {
+				seen[k]++
+				u, v := k.Endpoints()
+				deg[u]++
+				deg[v]++
+			}
+			for node, d := range deg {
+				if d != 1 {
+					t.Fatalf("n=%d round %d: node %d appears %d times", n, ri, node, d)
+				}
+			}
+		}
+		// Every pair exactly once across the tournament.
+		wantPairs := n * (n - 1) / 2
+		if len(seen) != wantPairs {
+			t.Fatalf("n=%d: schedule covers %d pairs, want %d", n, len(seen), wantPairs)
+		}
+		for k, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: pair %v appears %d times", n, k, c)
+			}
+		}
+	}
+}
+
+func TestRotorValidation(t *testing.T) {
+	model := testModel(10, 30)
+	if _, err := NewRotor(1, 1, model, 10); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewRotor(10, 0, model, 10); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := NewRotor(10, 2, model, 0); err == nil {
+		t.Error("period=0 accepted")
+	}
+	if _, err := NewRotor(4, 99, model, 10); err == nil {
+		t.Error("b larger than round count accepted")
+	}
+}
+
+func TestRotorLiveDegreeIsB(t *testing.T) {
+	model := testModel(10, 30)
+	for _, b := range []int{1, 2, 3} {
+		r, err := NewRotor(10, b, model, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 200; step++ {
+			r.Serve(0, 1)
+			deg := map[int]int{}
+			for k, c := range r.live {
+				if c > 1 {
+					t.Fatalf("pair %v live on %d switches (staggered offsets must differ)", k, c)
+				}
+				u, v := k.Endpoints()
+				deg[u]++
+				deg[v]++
+			}
+			for node, d := range deg {
+				if d > b {
+					t.Fatalf("b=%d: node %d live degree %d", b, node, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRotorRotates(t *testing.T) {
+	model := testModel(10, 30)
+	r, _ := NewRotor(10, 1, model, 3)
+	before := r.MatchingSize()
+	if before == 0 {
+		t.Fatal("rotor should start with a live matching")
+	}
+	wasLive := r.Matched(9, 0) // round 0 pairs the fixed node with 0
+	for i := 0; i < 3; i++ {
+		r.Serve(0, 1)
+	}
+	if r.Matched(9, 0) == wasLive && wasLive {
+		t.Fatal("rotation did not change the live matching")
+	}
+}
+
+func TestRotorObliviousToDemand(t *testing.T) {
+	// Rotor ignores traffic: serving different workloads leaves the same
+	// rotation trajectory.
+	model := testModel(10, 30)
+	a, _ := NewRotor(10, 2, model, 7)
+	b, _ := NewRotor(10, 2, model, 7)
+	for i := 0; i < 500; i++ {
+		a.Serve(0, 1)
+		b.Serve(i%9, (i%9)+1)
+	}
+	if a.MatchingSize() != b.MatchingSize() {
+		t.Fatal("rotor trajectory depended on demand")
+	}
+	for k := range a.live {
+		if b.live[k] == 0 {
+			t.Fatal("rotor live sets diverged across workloads")
+		}
+	}
+}
+
+func TestDemandAwareBeatsRotorOnSkewedTraffic(t *testing.T) {
+	// The Cerberus-style comparison: on skewed traffic, demand-aware
+	// R-BMA should beat the demand-oblivious rotor clearly.
+	model := testModel(16, 30)
+	p := trace.FacebookPreset(trace.Database, 16, 9)
+	p.Requests = 30000
+	tr, _ := trace.FacebookStyle(p)
+	run := func(alg Algorithm) float64 {
+		var sum float64
+		for _, req := range tr.Reqs {
+			sum += alg.Serve(int(req.Src), int(req.Dst)).RoutingCost
+		}
+		return sum
+	}
+	rot, err := NewRotor(16, 3, model, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotCost := run(rot)
+	rbma, _ := NewRBMA(16, 3, model, 3)
+	rbmaCost := run(rbma)
+	t.Logf("rotor %v vs r-bma %v", rotCost, rbmaCost)
+	if rbmaCost >= rotCost {
+		t.Fatalf("demand-aware should beat rotor on skewed traffic: %v vs %v", rbmaCost, rotCost)
+	}
+}
+
+func TestRotorChargeRotations(t *testing.T) {
+	model := testModel(10, 30)
+	r, _ := NewRotor(10, 1, model, 2)
+	r.ChargeRotations = true
+	r.Serve(0, 1)
+	st := r.Serve(0, 1) // rotation fires
+	if st.Adds == 0 || st.Removals == 0 {
+		t.Fatal("charged rotor rotation should report reconfigurations")
+	}
+}

@@ -1,0 +1,162 @@
+// Package flow is a flow-level network simulator that turns the paper's
+// cost model into application-visible performance. The paper's routing
+// cost is a "bandwidth tax" argument (§1.1): every extra hop consumes
+// fabric capacity, and analytical results relate throughput inversely to
+// route length. This package makes that concrete: requests become flows
+// with sizes and arrival times; flows over the static fabric occupy every
+// link of their shortest path (store-and-forward, per-link FIFO queueing),
+// while flows over matching edges use a dedicated optical circuit. The
+// output is the flow-completion-time (FCT) distribution — the quantity
+// datacenter operators actually feel.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"obm/internal/core"
+	"obm/internal/graph"
+	"obm/internal/stats"
+	"obm/internal/trace"
+)
+
+// Config parameterizes the flow simulation.
+type Config struct {
+	// LinkCapacity is the service rate of every static-fabric link
+	// (bytes per time unit).
+	LinkCapacity float64
+	// OpticalCapacity is the service rate of a reconfigurable circuit.
+	OpticalCapacity float64
+	// MeanFlowSize is the mean of the (exponential) flow-size
+	// distribution, in bytes.
+	MeanFlowSize float64
+	// ArrivalRate is the mean number of flow arrivals per time unit
+	// (Poisson process).
+	ArrivalRate float64
+	// Seed drives size and arrival randomness.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.LinkCapacity <= 0:
+		return fmt.Errorf("flow: LinkCapacity must be positive")
+	case c.OpticalCapacity <= 0:
+		return fmt.Errorf("flow: OpticalCapacity must be positive")
+	case c.MeanFlowSize <= 0:
+		return fmt.Errorf("flow: MeanFlowSize must be positive")
+	case c.ArrivalRate <= 0:
+		return fmt.Errorf("flow: ArrivalRate must be positive")
+	}
+	return nil
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	FCTs         []float64 // per-flow completion times, request order
+	MeanFCT      float64
+	P50FCT       float64
+	P99FCT       float64
+	OpticalShare float64 // fraction of flows served on circuits
+	// MakeSpan is the time the last flow finished.
+	MakeSpan float64
+}
+
+// Router decides, per flow, whether the pair rides a circuit. It is
+// consulted before the flow is placed and may mutate algorithm state
+// (e.g. by serving the request on an online algorithm).
+type Router func(i int, u, v int) bool
+
+// Simulate replays tr as a flow arrival process. route(i, u, v) reports
+// whether flow i between racks u and v takes a circuit; otherwise it is
+// store-and-forwarded along the static shortest path, queueing FIFO at
+// every link (full-duplex: each direction of a link has its own queue).
+func Simulate(top *graph.Topology, tr *trace.Trace, cfg Config, route Router) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if top.NumRacks() < tr.NumRacks {
+		return Result{}, fmt.Errorf("flow: topology has %d racks, trace needs %d",
+			top.NumRacks(), tr.NumRacks)
+	}
+	oracle := top.Paths()
+	rng := stats.NewRand(cfg.Seed)
+	// Directed-link FIFO availability times.
+	nextFree := make(map[[2]int]float64)
+	// Per-circuit availability (unordered rack pair).
+	circuitFree := make(map[trace.PairKey]float64)
+
+	res := Result{FCTs: make([]float64, tr.Len())}
+	now := 0.0
+	optical := 0
+	for i, req := range tr.Reqs {
+		now += rng.ExpFloat64() / cfg.ArrivalRate
+		size := rng.ExpFloat64() * cfg.MeanFlowSize
+		u, v := int(req.Src), int(req.Dst)
+		var finish float64
+		if route(i, u, v) {
+			optical++
+			k := trace.MakePairKey(u, v)
+			start := now
+			if t := circuitFree[k]; t > start {
+				start = t
+			}
+			finish = start + size/cfg.OpticalCapacity
+			circuitFree[k] = finish
+		} else {
+			t := now
+			oracle.VisitPathEdges(u, v, func(a, b int) {
+				link := [2]int{a, b}
+				start := t
+				if nf := nextFree[link]; nf > start {
+					start = nf
+				}
+				done := start + size/cfg.LinkCapacity
+				nextFree[link] = done
+				t = done
+			})
+			finish = t
+		}
+		res.FCTs[i] = finish - now
+		if finish > res.MakeSpan {
+			res.MakeSpan = finish
+		}
+	}
+	if tr.Len() > 0 {
+		res.OpticalShare = float64(optical) / float64(tr.Len())
+		res.MeanFCT = stats.Mean(res.FCTs)
+		sorted := append([]float64(nil), res.FCTs...)
+		sort.Float64s(sorted)
+		res.P50FCT = sorted[len(sorted)/2]
+		res.P99FCT = sorted[min(len(sorted)-1, len(sorted)*99/100)]
+	}
+	return res, nil
+}
+
+// SimulateWithAlgorithm drives an online b-matching algorithm in lock-step
+// with the flow simulation: each flow is routed on a circuit iff its pair
+// is matched at arrival, and the request is then fed to the algorithm so
+// the matching keeps adapting.
+func SimulateWithAlgorithm(top *graph.Topology, tr *trace.Trace, cfg Config, alg core.Algorithm) (Result, error) {
+	return Simulate(top, tr, cfg, func(i, u, v int) bool {
+		matched := alg.Matched(u, v)
+		alg.Serve(u, v)
+		return matched
+	})
+}
+
+// SimulateOblivious routes every flow over the static fabric.
+func SimulateOblivious(top *graph.Topology, tr *trace.Trace, cfg Config) (Result, error) {
+	return Simulate(top, tr, cfg, func(i, u, v int) bool { return false })
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

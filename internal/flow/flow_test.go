@@ -1,0 +1,145 @@
+package flow
+
+import (
+	"testing"
+
+	"obm/internal/core"
+	"obm/internal/graph"
+	"obm/internal/trace"
+)
+
+func flowConfig() Config {
+	return Config{
+		LinkCapacity:    100,
+		OpticalCapacity: 400,
+		MeanFlowSize:    50,
+		ArrivalRate:     2,
+		Seed:            1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := flowConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.LinkCapacity = 0 },
+		func(c *Config) { c.OpticalCapacity = -1 },
+		func(c *Config) { c.MeanFlowSize = 0 },
+		func(c *Config) { c.ArrivalRate = 0 },
+	} {
+		c := flowConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %+v accepted", c)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	top := graph.FatTreeRacks(16)
+	tr := trace.Uniform(16, 2000, 5)
+	a, err := SimulateOblivious(top, tr, flowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SimulateOblivious(top, tr, flowConfig())
+	if a.MeanFCT != b.MeanFCT || a.MakeSpan != b.MakeSpan {
+		t.Fatal("same seed must reproduce the simulation")
+	}
+}
+
+func TestCircuitsReduceFCTOnSkewedLoad(t *testing.T) {
+	top := graph.FatTreeRacks(16)
+	model := core.CostModel{Metric: top.Metric(), Alpha: 30}
+	p := trace.FacebookPreset(trace.Database, 16, 3)
+	p.Requests = 20000
+	tr, _ := trace.FacebookStyle(p)
+	cfg := flowConfig()
+
+	obl, err := SimulateOblivious(top, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, _ := core.NewRBMA(16, 3, model, 7)
+	opt, err := SimulateWithAlgorithm(top, tr, cfg, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.OpticalShare < 0.4 {
+		t.Fatalf("R-BMA should serve a large share on circuits, got %.0f%%", 100*opt.OpticalShare)
+	}
+	if opt.MeanFCT >= obl.MeanFCT {
+		t.Fatalf("circuits should cut mean FCT: %v vs oblivious %v", opt.MeanFCT, obl.MeanFCT)
+	}
+	if opt.P99FCT >= obl.P99FCT {
+		t.Fatalf("circuits should cut tail FCT: %v vs oblivious %v", opt.P99FCT, obl.P99FCT)
+	}
+}
+
+func TestFCTLowerBoundIsTransmissionDelay(t *testing.T) {
+	// A flow can never finish faster than size/capacity over one hop.
+	top := graph.FatTreeRacks(8)
+	tr := trace.Uniform(8, 500, 9)
+	cfg := flowConfig()
+	res, err := SimulateOblivious(top, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fct := range res.FCTs {
+		if fct < 0 {
+			t.Fatalf("flow %d has negative FCT %v", i, fct)
+		}
+	}
+	if res.MeanFCT <= 0 || res.MakeSpan <= 0 {
+		t.Fatal("degenerate summary stats")
+	}
+}
+
+func TestQueueingGrowsWithLoad(t *testing.T) {
+	// Same trace, higher arrival rate → more queueing → larger mean FCT.
+	top := graph.Star(8)
+	tr := trace.Uniform(8, 5000, 11)
+	slow := flowConfig()
+	slow.ArrivalRate = 0.5
+	fast := flowConfig()
+	fast.ArrivalRate = 50
+	a, err := SimulateOblivious(top, tr, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SimulateOblivious(top, tr, fast)
+	if b.MeanFCT <= a.MeanFCT {
+		t.Fatalf("higher load should increase FCT: %v vs %v", b.MeanFCT, a.MeanFCT)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	top := graph.Star(3)
+	bad := &trace.Trace{NumRacks: 99, Reqs: []trace.Request{{Src: 0, Dst: 98}}}
+	if _, err := SimulateOblivious(top, bad, flowConfig()); err == nil {
+		t.Fatal("oversized trace accepted")
+	}
+	tr := trace.Uniform(3, 10, 1)
+	c := flowConfig()
+	c.LinkCapacity = 0
+	if _, err := SimulateOblivious(top, tr, c); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestOpticalShareMatchesAlgorithmBehaviour(t *testing.T) {
+	// A permutation workload with b=1 converges to full circuit coverage.
+	top := graph.FatTreeRacks(8)
+	model := core.CostModel{Metric: top.Metric(), Alpha: 10}
+	tr := trace.Permutation(8, 10000, 3)
+	alg, _ := core.NewRBMA(8, 1, model, 5)
+	res, err := SimulateWithAlgorithm(top, tr, flowConfig(), alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpticalShare < 0.9 {
+		t.Fatalf("permutation should be ~fully offloaded, got %.0f%%", 100*res.OpticalShare)
+	}
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// DistanceMatrix holds all-pairs shortest-path lengths for a graph. It is
+// the ℓ lookup of the paper's cost model: Dist(u, v) is the hop count of a
+// shortest path between u and v over the static network.
+type DistanceMatrix struct {
+	n    int
+	d    []int32
+	diam int
+}
+
+// Unreachable is the distance reported between nodes in different components.
+const Unreachable = int(math.MaxInt32)
+
+// AllPairsShortestPaths computes hop-count distances with one BFS per node.
+// Runtime O(n·(n+m)), memory O(n²) (int32 entries).
+func AllPairsShortestPaths(g *Graph) *DistanceMatrix {
+	n := g.N()
+	dm := &DistanceMatrix{n: n, d: make([]int32, n*n)}
+	for i := range dm.d {
+		dm.d[i] = math.MaxInt32
+	}
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		row := dm.d[s*n : (s+1)*n]
+		row[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := row[u]
+			for _, v := range g.Neighbors(u) {
+				if row[v] == math.MaxInt32 {
+					row[v] = du + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	dm.diam = 0
+	for _, v := range dm.d {
+		if v != math.MaxInt32 && int(v) > dm.diam {
+			dm.diam = int(v)
+		}
+	}
+	return dm
+}
+
+// N returns the node count the matrix was built for.
+func (m *DistanceMatrix) N() int { return m.n }
+
+// Dist returns the shortest-path hop count between u and v, or Unreachable
+// if they are in different components. It panics on out-of-range nodes.
+func (m *DistanceMatrix) Dist(u, v int) int {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		panic(fmt.Sprintf("graph: Dist(%d,%d) out of range [0,%d)", u, v, m.n))
+	}
+	d := m.d[u*m.n+v]
+	if d == math.MaxInt32 {
+		return Unreachable
+	}
+	return int(d)
+}
+
+// Diameter returns the largest finite pairwise distance.
+func (m *DistanceMatrix) Diameter() int { return m.diam }
+
+// MaxPairDistance returns ℓmax restricted to a node subset of size k
+// (nodes 0..k-1), the quantity entering the competitive ratio γ = 1 + ℓmax/α.
+func (m *DistanceMatrix) MaxPairDistance(k int) int {
+	if k > m.n {
+		k = m.n
+	}
+	best := 0
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			if d := m.Dist(u, v); d != Unreachable && d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// item is a priority-queue entry for Dijkstra.
+type item struct {
+	node int
+	dist float64
+}
+
+type pq []item
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(item)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths with per-edge weights given
+// by weight(u, v) (must be >= 0). Returns distances, with math.Inf(1) for
+// unreachable nodes. Provided for weighted-topology extensions; the paper's
+// cost model is unweighted and uses AllPairsShortestPaths.
+func Dijkstra(g *Graph, src int, weight func(u, v int) float64) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &pq{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(item)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, v := range g.Neighbors(it.node) {
+			w := weight(it.node, v)
+			if w < 0 {
+				panic("graph: Dijkstra with negative edge weight")
+			}
+			if nd := it.dist + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, item{v, nd})
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,25 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"obm/internal/graph"
+)
+
+// ExampleFatTreeRacks builds the paper's experimental topology and reads
+// off the distance structure that drives the cost model.
+func ExampleFatTreeRacks() {
+	top := graph.FatTreeRacks(100)
+	m := top.Metric()
+	fmt.Printf("racks=%d same-pod=%d cross-pod=%d lmax=%d\n",
+		top.NumRacks(), m.Dist(0, 1), m.Dist(0, 60), m.Max())
+	// Output: racks=100 same-pod=2 cross-pod=4 lmax=4
+}
+
+// ExampleStar shows the lower-bound topology of Theorem 4.
+func ExampleStar() {
+	top := graph.Star(4)
+	m := top.Metric()
+	fmt.Printf("hub-leaf=%d leaf-leaf=%d\n", m.Dist(0, 1), m.Dist(1, 2))
+	// Output: hub-leaf=1 leaf-leaf=2
+}

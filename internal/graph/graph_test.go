@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"obm/internal/stats"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge should be undirected")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(-1, 2); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	g.MustAddEdge(0, 1)
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 3)
+	es := g.Edges()
+	want := [][2]int{{0, 1}, {1, 3}, {2, 3}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", es, want)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("two components reported connected")
+	}
+	g.MustAddEdge(1, 2)
+	if !g.Connected() {
+		t.Fatal("path graph reported disconnected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("trivial graphs should be connected")
+	}
+}
+
+func TestAPSPOnPath(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	m := AllPairsShortestPaths(g)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			want := v - u
+			if want < 0 {
+				want = -want
+			}
+			if m.Dist(u, v) != want {
+				t.Fatalf("Dist(%d,%d) = %d, want %d", u, v, m.Dist(u, v), want)
+			}
+		}
+	}
+	if m.Diameter() != 4 {
+		t.Fatalf("Diameter = %d", m.Diameter())
+	}
+}
+
+func TestAPSPDisconnected(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	m := AllPairsShortestPaths(g)
+	if m.Dist(0, 2) != Unreachable {
+		t.Fatal("expected Unreachable across components")
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	top := RandomRegular(24, 3, 7)
+	g := top.Graph()
+	m := AllPairsShortestPaths(g)
+	dist := Dijkstra(g, 0, func(u, v int) float64 { return 1 })
+	for v := 0; v < g.N(); v++ {
+		if int(dist[v]) != m.Dist(0, v) {
+			t.Fatalf("node %d: dijkstra %v, bfs %d", v, dist[v], m.Dist(0, v))
+		}
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	k := 4
+	top := FatTree(k)
+	g := top.Graph()
+	wantNodes := k*k/2 + k*k/2 + k*k/4
+	if g.N() != wantNodes {
+		t.Fatalf("nodes = %d, want %d", g.N(), wantNodes)
+	}
+	if top.NumRacks() != k*k/2 {
+		t.Fatalf("racks = %d, want %d", top.NumRacks(), k*k/2)
+	}
+	if !g.Connected() {
+		t.Fatal("fat-tree must be connected")
+	}
+	m := top.Metric()
+	// Same pod -> 2, different pod -> 4.
+	if d := m.Dist(0, 1); d != 2 {
+		t.Fatalf("same-pod rack distance = %d, want 2", d)
+	}
+	if d := m.Dist(0, k/2); d != 4 {
+		t.Fatalf("cross-pod rack distance = %d, want 4", d)
+	}
+	if m.Max() != 4 {
+		t.Fatalf("ℓmax = %d, want 4", m.Max())
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd k")
+		}
+	}()
+	FatTree(3)
+}
+
+func TestFatTreeRacksCount(t *testing.T) {
+	for _, n := range []int{1, 7, 50, 100} {
+		top := FatTreeRacks(n)
+		if top.NumRacks() != n {
+			t.Fatalf("FatTreeRacks(%d) has %d racks", n, top.NumRacks())
+		}
+		m := top.Metric()
+		if n > 1 && (m.Max() != 2 && m.Max() != 4) {
+			t.Fatalf("fat-tree ℓmax = %d", m.Max())
+		}
+	}
+}
+
+func TestLeafSpineDistances(t *testing.T) {
+	top := LeafSpine(6, 3)
+	m := top.Metric()
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			if m.Dist(u, v) != 2 {
+				t.Fatalf("leaf-spine Dist(%d,%d) = %d, want 2", u, v, m.Dist(u, v))
+			}
+		}
+	}
+}
+
+func TestStarDistances(t *testing.T) {
+	top := Star(5)
+	m := top.Metric()
+	if m.Dist(0, 3) != 1 {
+		t.Fatal("hub-leaf distance must be 1")
+	}
+	if m.Dist(1, 2) != 2 {
+		t.Fatal("leaf-leaf distance must be 2")
+	}
+}
+
+func TestRingDiameter(t *testing.T) {
+	top := Ring(8)
+	m := top.Metric()
+	if m.Max() != 4 {
+		t.Fatalf("ring(8) ℓmax = %d, want 4", m.Max())
+	}
+	if m.Dist(0, 3) != 3 || m.Dist(0, 5) != 3 {
+		t.Fatal("ring wrap-around distance wrong")
+	}
+}
+
+func TestTorusDistances(t *testing.T) {
+	top := Torus2D(4, 5)
+	m := top.Metric()
+	// (0,0) to (2,2): 2 + 2 = 4 hops.
+	if d := m.Dist(0, 2*5+2); d != 4 {
+		t.Fatalf("torus distance = %d, want 4", d)
+	}
+}
+
+func TestHypercubeDistanceIsHamming(t *testing.T) {
+	top := Hypercube(4)
+	m := top.Metric()
+	for u := 0; u < 16; u++ {
+		for v := 0; v < 16; v++ {
+			x := u ^ v
+			ham := 0
+			for x != 0 {
+				ham += x & 1
+				x >>= 1
+			}
+			if m.Dist(u, v) != ham {
+				t.Fatalf("hypercube Dist(%d,%d) = %d, want %d", u, v, m.Dist(u, v), ham)
+			}
+		}
+	}
+}
+
+func TestCompleteAllOnes(t *testing.T) {
+	m := Complete(6).Metric()
+	if m.Max() != 1 || m.AverageDistance() != 1 {
+		t.Fatal("complete graph distances must all be 1")
+	}
+}
+
+func TestRandomRegularIsRegularAndConnected(t *testing.T) {
+	top := RandomRegular(30, 4, 99)
+	g := top.Graph()
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("node %d degree %d, want 4", u, g.Degree(u))
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("random regular graph disconnected")
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a := RandomRegular(20, 3, 5).Graph().Edges()
+	b := RandomRegular(20, 3, 5).Graph().Edges()
+	if len(a) != len(b) {
+		t.Fatal("same seed, different edge count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestUniformMetric(t *testing.T) {
+	m := UniformMetric(5, 3)
+	if m.Dist(0, 0) != 0 || m.Dist(1, 4) != 3 || m.Max() != 3 {
+		t.Fatal("uniform metric wrong")
+	}
+}
+
+func TestMetricSymmetryProperty(t *testing.T) {
+	top := FatTreeRacks(20)
+	m := top.Metric()
+	if err := quick.Check(func(a, b uint8) bool {
+		u, v := int(a)%20, int(b)%20
+		return m.Dist(u, v) == m.Dist(v, u)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricTriangleInequality(t *testing.T) {
+	top := RandomRegular(16, 3, 11)
+	m := top.Metric()
+	r := stats.NewRand(1)
+	for i := 0; i < 2000; i++ {
+		u, v, w := r.Intn(16), r.Intn(16), r.Intn(16)
+		if m.Dist(u, w) > m.Dist(u, v)+m.Dist(v, w) {
+			t.Fatalf("triangle inequality violated at (%d,%d,%d)", u, v, w)
+		}
+	}
+}
+
+func TestHistogramCountsAllPairs(t *testing.T) {
+	top := FatTreeRacks(10)
+	m := top.Metric()
+	h := m.Histogram()
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 10*9/2 {
+		t.Fatalf("histogram covers %d pairs, want 45", total)
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import "fmt"
+
+// PathOracle reconstructs concrete shortest paths between racks over the
+// static network. It stores one BFS parent tree per rack
+// (O(racks × nodes) memory), so path extraction is O(path length).
+// Used by the simulator's link-utilization accounting: the paper equates
+// routing cost with "bandwidth tax", and the oracle makes the per-link
+// load behind that tax observable.
+type PathOracle struct {
+	top     *Topology
+	parents [][]int32 // parents[i][node]: BFS predecessor towards rack i's node
+}
+
+// Paths builds the oracle with one BFS per rack.
+func (t *Topology) Paths() *PathOracle {
+	nr := len(t.racks)
+	n := t.g.N()
+	p := &PathOracle{top: t, parents: make([][]int32, nr)}
+	queue := make([]int, 0, n)
+	for i, s := range t.racks {
+		par := make([]int32, n)
+		for j := range par {
+			par[j] = -1
+		}
+		par[s] = int32(s) // root marks itself
+		queue = queue[:0]
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range t.g.Neighbors(u) {
+				if par[v] == -1 {
+					par[v] = int32(u)
+					queue = append(queue, v)
+				}
+			}
+		}
+		p.parents[i] = par
+	}
+	return p
+}
+
+// Path returns the node sequence of a shortest path from rack u to rack v
+// (graph node ids, starting at rack u's node and ending at rack v's node).
+// It panics if the racks are disconnected or indices are out of range.
+func (p *PathOracle) Path(u, v int) []int {
+	if u < 0 || u >= len(p.parents) || v < 0 || v >= len(p.parents) {
+		panic(fmt.Sprintf("graph: Path(%d,%d) rack out of range [0,%d)", u, v, len(p.parents)))
+	}
+	// Walk from v's node towards rack u using u's BFS tree.
+	par := p.parents[u]
+	cur := p.top.racks[v]
+	if par[cur] == -1 {
+		panic(fmt.Sprintf("graph: racks %d and %d disconnected", u, v))
+	}
+	var rev []int
+	for {
+		rev = append(rev, cur)
+		next := int(par[cur])
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	// rev runs v → u; reverse to u → v.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// VisitPathEdges calls fn for every static-network edge (a, b) on a
+// shortest path from rack u to rack v, without allocating.
+func (p *PathOracle) VisitPathEdges(u, v int, fn func(a, b int)) {
+	par := p.parents[u]
+	cur := p.top.racks[v]
+	if cur < 0 || par[cur] == -1 {
+		panic(fmt.Sprintf("graph: racks %d and %d disconnected", u, v))
+	}
+	for {
+		next := int(par[cur])
+		if next == cur {
+			return
+		}
+		fn(cur, next)
+		cur = next
+	}
+}

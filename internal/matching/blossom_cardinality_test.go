@@ -1,0 +1,85 @@
+package matching
+
+import (
+	"testing"
+
+	"obm/internal/stats"
+)
+
+// bruteForceMaxCardinality finds the maximum weight among matchings of
+// maximum cardinality, by exhaustive search.
+func bruteForceMaxCardinality(n int, edges []WeightedEdge) (size int, weight float64) {
+	deg := make([]int, n)
+	var rec func(i, curSize int, curW float64)
+	rec = func(i, curSize int, curW float64) {
+		if curSize > size || (curSize == size && curW > weight) {
+			size, weight = curSize, curW
+		}
+		if i == len(edges) {
+			return
+		}
+		rec(i+1, curSize, curW)
+		e := edges[i]
+		if deg[e.U] == 0 && deg[e.V] == 0 {
+			deg[e.U], deg[e.V] = 1, 1
+			rec(i+1, curSize+1, curW+e.W)
+			deg[e.U], deg[e.V] = 0, 0
+		}
+	}
+	rec(0, 0, 0)
+	return
+}
+
+func TestMaxCardinalityRandomVsBruteForce(t *testing.T) {
+	r := stats.NewRand(91)
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + r.Intn(4)
+		var edges []WeightedEdge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Bool(0.5) {
+					edges = append(edges, WeightedEdge{u, v, float64(1 + r.Intn(15))})
+				}
+			}
+		}
+		if len(edges) > 18 {
+			edges = edges[:18]
+		}
+		mate := MaxWeightMatching(n, edges, true)
+		checkMateConsistent(t, mate)
+		gotSize := 0
+		for v, m := range mate {
+			if m > v {
+				gotSize++
+			}
+		}
+		gotW := mateWeight(n, edges, mate)
+		wantSize, wantW := bruteForceMaxCardinality(n, edges)
+		if gotSize != wantSize {
+			t.Fatalf("trial %d: cardinality %d, want %d (edges %v)", trial, gotSize, wantSize, edges)
+		}
+		if gotW < wantW-1e-9 {
+			t.Fatalf("trial %d: weight %v below optimum %v at max cardinality", trial, gotW, wantW)
+		}
+	}
+}
+
+func TestMaxCardinalityPathGraphs(t *testing.T) {
+	// Path graphs have a unique maximum-cardinality structure.
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8} {
+		var edges []WeightedEdge
+		for i := 0; i+1 < n; i++ {
+			edges = append(edges, WeightedEdge{i, i + 1, 1})
+		}
+		mate := MaxWeightMatching(n, edges, true)
+		size := 0
+		for v, m := range mate {
+			if m > v {
+				size++
+			}
+		}
+		if size != n/2 {
+			t.Fatalf("path n=%d: matched %d edges, want %d", n, size, n/2)
+		}
+	}
+}

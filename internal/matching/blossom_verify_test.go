@@ -1,0 +1,115 @@
+package matching
+
+// Dual-certificate verification for the blossom solver: after solve(), the
+// LP duals must certify optimality by complementary slackness. This is the
+// same check van Rantwijk's reference runs under CHECK_OPTIMUM, and is far
+// stronger than value comparison alone — it validates the internal dual
+// bookkeeping, not just the matching.
+
+import (
+	"testing"
+
+	"obm/internal/stats"
+)
+
+// verifyOptimum checks the complementary-slackness conditions:
+//  1. every edge has non-negative slack;
+//  2. every matched edge has zero slack (counting blossoms containing both
+//     endpoints, whose duals subtract from the slack);
+//  3. vertex duals are non-negative (plain max-weight mode);
+//  4. unmatched ("single") vertices have zero dual;
+//  5. blossom duals are non-negative.
+func verifyOptimum(t *testing.T, s *blossomSolver) {
+	t.Helper()
+	n := s.nvertex
+	for v := 0; v < n; v++ {
+		if !s.maxCardinality && s.dualvar[v] < -1e-9 {
+			t.Fatalf("vertex %d has negative dual %v", v, s.dualvar[v])
+		}
+		if s.mate[v] == -1 && !s.maxCardinality && s.dualvar[v] > 1e-9 {
+			t.Fatalf("single vertex %d has positive dual %v", v, s.dualvar[v])
+		}
+	}
+	for b := n; b < 2*n; b++ {
+		if s.blossombase[b] >= 0 && s.dualvar[b] < -1e-9 {
+			t.Fatalf("blossom %d has negative dual %v", b, s.dualvar[b])
+		}
+	}
+	for k, e := range s.edges {
+		slack := s.dualvar[e.U] + s.dualvar[e.V] - 2*e.W
+		// Add duals of blossoms containing both endpoints: the chains of
+		// containers are nested, so the common containers are exactly the
+		// blossoms appearing in both parent chains.
+		var iblossoms, jblossoms []int
+		for bi := e.U; bi != -1; bi = s.blossomparent[bi] {
+			iblossoms = append(iblossoms, bi)
+		}
+		for bj := e.V; bj != -1; bj = s.blossomparent[bj] {
+			jblossoms = append(jblossoms, bj)
+		}
+		for _, bi := range iblossoms {
+			for _, bj := range jblossoms {
+				if bi == bj && bi >= n {
+					slack += 2 * s.dualvar[bi]
+				}
+			}
+		}
+		if slack < -1e-9 {
+			t.Fatalf("edge %d {%d,%d,w=%v} has negative slack %v", k, e.U, e.V, e.W, slack)
+		}
+		matched := s.mate[e.U] >= 0 && s.endpoint[s.mate[e.U]] == e.V
+		if matched && slack > 1e-9 {
+			t.Fatalf("matched edge %d {%d,%d} has positive slack %v", k, e.U, e.V, slack)
+		}
+	}
+}
+
+func TestBlossomDualCertificateRandom(t *testing.T) {
+	r := stats.NewRand(61)
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + r.Intn(8)
+		var edges []WeightedEdge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Bool(0.5) {
+					edges = append(edges, WeightedEdge{u, v, float64(1 + r.Intn(25))})
+				}
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		s := newBlossomSolver(n, edges, false)
+		s.solve()
+		verifyOptimum(t, s)
+	}
+}
+
+func TestBlossomDualCertificateDense(t *testing.T) {
+	r := stats.NewRand(62)
+	for trial := 0; trial < 20; trial++ {
+		n := 12
+		var edges []WeightedEdge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, WeightedEdge{u, v, float64(1 + r.Intn(100))})
+			}
+		}
+		s := newBlossomSolver(n, edges, false)
+		s.solve()
+		verifyOptimum(t, s)
+	}
+}
+
+func TestBlossomDualCertificateOddCycles(t *testing.T) {
+	// Odd cycles force blossoms; verify duals survive them.
+	for _, n := range []int{3, 5, 7, 9} {
+		var edges []WeightedEdge
+		for i := 0; i < n; i++ {
+			edges = append(edges, WeightedEdge{i, (i + 1) % n, 10})
+		}
+		s := newBlossomSolver(n, edges, false)
+		s.solve()
+		verifyOptimum(t, s)
+	}
+}

@@ -1,0 +1,165 @@
+// Package matching provides the b-matching substrate: a dynamic
+// degree-capped matching structure used by the online algorithms, a full
+// Edmonds-blossom maximum-weight matching implementation (the algorithm
+// behind the paper's SO-BMA baseline, which used NetworkX's port of the
+// same), offline maximum-weight b-matching constructions, and exact
+// brute-force references for testing.
+package matching
+
+import (
+	"fmt"
+
+	"obm/internal/trace"
+)
+
+// BMatching is a dynamic b-matching over n nodes: a set of node pairs such
+// that every node has at most b incident pairs. It is the structure M that
+// the online algorithms reconfigure.
+type BMatching struct {
+	n, b  int
+	deg   []int
+	edges map[trace.PairKey]struct{}
+	inc   []map[trace.PairKey]struct{} // incident pairs per node
+}
+
+// NewBMatching returns an empty b-matching over n nodes with degree cap b.
+// It panics if n < 2 or b < 1.
+func NewBMatching(n, b int) *BMatching {
+	if n < 2 {
+		panic("matching: NewBMatching requires n >= 2")
+	}
+	if b < 1 {
+		panic("matching: NewBMatching requires b >= 1")
+	}
+	inc := make([]map[trace.PairKey]struct{}, n)
+	for i := range inc {
+		inc[i] = make(map[trace.PairKey]struct{})
+	}
+	return &BMatching{
+		n:     n,
+		b:     b,
+		deg:   make([]int, n),
+		edges: make(map[trace.PairKey]struct{}),
+		inc:   inc,
+	}
+}
+
+// N returns the node count.
+func (m *BMatching) N() int { return m.n }
+
+// B returns the degree cap.
+func (m *BMatching) B() int { return m.b }
+
+// Size returns the number of matching edges.
+func (m *BMatching) Size() int { return len(m.edges) }
+
+// Has reports whether pair k is a matching edge.
+func (m *BMatching) Has(k trace.PairKey) bool {
+	_, ok := m.edges[k]
+	return ok
+}
+
+// Degree returns the number of matching edges incident to node u.
+func (m *BMatching) Degree(u int) int { return m.deg[u] }
+
+// Free returns the remaining capacity of node u.
+func (m *BMatching) Free(u int) int { return m.b - m.deg[u] }
+
+// Add inserts pair k as a matching edge. It returns an error if k is
+// already matched, an endpoint is out of range, or an endpoint is at its
+// degree cap.
+func (m *BMatching) Add(k trace.PairKey) error {
+	u, v := k.Endpoints()
+	if v >= m.n {
+		return fmt.Errorf("matching: pair %v out of range [0,%d)", k, m.n)
+	}
+	if m.Has(k) {
+		return fmt.Errorf("matching: pair %v already matched", k)
+	}
+	if m.deg[u] >= m.b {
+		return fmt.Errorf("matching: node %d at degree cap %d", u, m.b)
+	}
+	if m.deg[v] >= m.b {
+		return fmt.Errorf("matching: node %d at degree cap %d", v, m.b)
+	}
+	m.edges[k] = struct{}{}
+	m.inc[u][k] = struct{}{}
+	m.inc[v][k] = struct{}{}
+	m.deg[u]++
+	m.deg[v]++
+	return nil
+}
+
+// Remove deletes pair k from the matching. It returns an error if k is not
+// matched.
+func (m *BMatching) Remove(k trace.PairKey) error {
+	if !m.Has(k) {
+		return fmt.Errorf("matching: pair %v not matched", k)
+	}
+	u, v := k.Endpoints()
+	delete(m.edges, k)
+	delete(m.inc[u], k)
+	delete(m.inc[v], k)
+	m.deg[u]--
+	m.deg[v]--
+	return nil
+}
+
+// Incident returns the matching edges incident to node u, in unspecified
+// order.
+func (m *BMatching) Incident(u int) []trace.PairKey {
+	out := make([]trace.PairKey, 0, len(m.inc[u]))
+	for k := range m.inc[u] {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ForEachIncident calls fn for every matching edge incident to node u,
+// stopping early if fn returns false. Allocation-free variant of Incident
+// for per-request hot paths.
+func (m *BMatching) ForEachIncident(u int, fn func(trace.PairKey) bool) {
+	for k := range m.inc[u] {
+		if !fn(k) {
+			return
+		}
+	}
+}
+
+// Edges returns all matching edges in unspecified order.
+func (m *BMatching) Edges() []trace.PairKey {
+	out := make([]trace.PairKey, 0, len(m.edges))
+	for k := range m.edges {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CheckInvariants verifies internal consistency (degree counts match
+// incidence sets, no node exceeds the cap). Intended for tests.
+func (m *BMatching) CheckInvariants() error {
+	deg := make([]int, m.n)
+	for k := range m.edges {
+		u, v := k.Endpoints()
+		deg[u]++
+		deg[v]++
+		if _, ok := m.inc[u][k]; !ok {
+			return fmt.Errorf("matching: edge %v missing from inc[%d]", k, u)
+		}
+		if _, ok := m.inc[v][k]; !ok {
+			return fmt.Errorf("matching: edge %v missing from inc[%d]", k, v)
+		}
+	}
+	for u := 0; u < m.n; u++ {
+		if deg[u] != m.deg[u] {
+			return fmt.Errorf("matching: node %d degree %d, recorded %d", u, deg[u], m.deg[u])
+		}
+		if deg[u] > m.b {
+			return fmt.Errorf("matching: node %d degree %d exceeds cap %d", u, deg[u], m.b)
+		}
+		if len(m.inc[u]) != deg[u] {
+			return fmt.Errorf("matching: node %d incidence size %d != degree %d", u, len(m.inc[u]), deg[u])
+		}
+	}
+	return nil
+}

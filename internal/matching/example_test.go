@@ -1,0 +1,31 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"obm/internal/matching"
+)
+
+// ExampleMaxWeightMatching solves a small instance where two light edges
+// beat one heavy edge.
+func ExampleMaxWeightMatching() {
+	edges := []matching.WeightedEdge{
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 5}, {U: 2, V: 3, W: 3},
+	}
+	mate := matching.MaxWeightMatching(4, edges, false)
+	fmt.Println(mate)
+	// Output: [1 0 3 2]
+}
+
+// ExampleIteratedMWM builds the SO-BMA-style b-matching: b rounds of
+// maximum-weight matching.
+func ExampleIteratedMWM() {
+	edges := []matching.WeightedEdge{
+		{U: 0, V: 1, W: 10}, {U: 0, V: 2, W: 9}, {U: 1, V: 2, W: 1},
+	}
+	// Round 1 picks {0,1} (weight 10); round 2 picks {0,2} (weight 9;
+	// {1,2} conflicts with it at node 2).
+	pairs := matching.IteratedMWM(3, edges, 2)
+	fmt.Println(len(pairs))
+	// Output: 2
+}

@@ -1,0 +1,59 @@
+// Package paging implements the online paging (caching) algorithms that
+// R-BMA runs at every node (paper §2.2): a cache of capacity b holds node
+// pairs, and the randomized marking algorithm gives the O(log(b/(b-a+1)))
+// competitive ratio (Fiat et al. 1991; Young 1991 for the (b,a) analysis).
+//
+// The package also provides the deterministic algorithms used as ablation
+// baselines (LRU, FIFO, CLOCK, LFU, random eviction, flush-when-full) and
+// Belady's offline MIN for lower-bound comparisons.
+//
+// Cost model: paging algorithms pay 1 per fetch (miss); evictions are free
+// and bypassing is not allowed. These are the conventions of the paging
+// literature the paper reduces to; the R-BMA layer translates them into
+// matching reconfiguration costs.
+package paging
+
+// Cache is an online paging algorithm over uint64 items with a fixed
+// capacity. Implementations are not safe for concurrent use.
+type Cache interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Cap returns the capacity (the paper's b).
+	Cap() int
+	// Len returns the number of cached items.
+	Len() int
+	// Contains reports whether item is cached.
+	Contains(item uint64) bool
+	// Access requests item. If it is cached (hit), the algorithm may update
+	// internal state only. On a miss the item is fetched, evicting at most
+	// one cached item if the cache is full. Access returns the evicted item
+	// (evicted == true) and whether the access was a miss.
+	Access(item uint64) (evictedItem uint64, evicted, miss bool)
+	// Items returns the cached items in unspecified order.
+	Items() []uint64
+	// Reset empties the cache and clears all algorithm state.
+	Reset()
+}
+
+// Factory constructs a fresh cache of capacity k. The seed parameterizes
+// randomized algorithms; deterministic ones ignore it.
+type Factory func(k int, seed uint64) Cache
+
+// Cost replays a request sequence through a fresh cache from factory f and
+// returns the number of misses (the paging cost).
+func Cost(f Factory, k int, seed uint64, seq []uint64) int {
+	c := f(k, seed)
+	misses := 0
+	for _, it := range seq {
+		if _, _, miss := c.Access(it); miss {
+			misses++
+		}
+	}
+	return misses
+}
+
+func validateCap(k int) {
+	if k < 1 {
+		panic("paging: cache capacity must be >= 1")
+	}
+}

@@ -1,0 +1,30 @@
+package paging_test
+
+import (
+	"fmt"
+
+	"obm/internal/paging"
+)
+
+// ExampleMarking demonstrates phase behaviour of the randomized marking
+// algorithm at the heart of R-BMA.
+func ExampleMarking() {
+	c := paging.NewMarking(2, 7)
+	c.Access(1) // miss, marks 1
+	c.Access(2) // miss, marks 2
+	_, _, miss := c.Access(1)
+	fmt.Printf("hit on 1: miss=%v, phases=%d\n", miss, c.Phases())
+	c.Access(3) // all marked -> new phase, evicts one of {1,2}
+	fmt.Printf("after overflow: phases=%d len=%d\n", c.Phases(), c.Len())
+	// Output:
+	// hit on 1: miss=false, phases=0
+	// after overflow: phases=1 len=2
+}
+
+// ExampleOfflineCost computes Belady's optimal miss count, the denominator
+// of empirical competitive ratios.
+func ExampleOfflineCost() {
+	seq := []uint64{1, 2, 3, 1, 2, 3}
+	fmt.Println(paging.OfflineCost(2, seq))
+	// Output: 4
+}

@@ -1,0 +1,139 @@
+package paging
+
+// FIFO evicts the item fetched longest ago, regardless of use.
+type FIFO struct {
+	k     int
+	items map[uint64]struct{}
+	queue []uint64 // fetch order; queue[0] is the oldest
+}
+
+// NewFIFO returns an empty FIFO cache of capacity k.
+func NewFIFO(k int) *FIFO {
+	validateCap(k)
+	return &FIFO{k: k, items: make(map[uint64]struct{}, k)}
+}
+
+// NewFIFOFactory adapts NewFIFO to the Factory signature.
+func NewFIFOFactory(k int, _ uint64) Cache { return NewFIFO(k) }
+
+// Name implements Cache.
+func (c *FIFO) Name() string { return "fifo" }
+
+// Cap implements Cache.
+func (c *FIFO) Cap() int { return c.k }
+
+// Len implements Cache.
+func (c *FIFO) Len() int { return len(c.items) }
+
+// Contains implements Cache.
+func (c *FIFO) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+
+// Access implements Cache.
+func (c *FIFO) Access(item uint64) (uint64, bool, bool) {
+	if _, ok := c.items[item]; ok {
+		return 0, false, false
+	}
+	var evictedItem uint64
+	evicted := false
+	if len(c.items) == c.k {
+		evictedItem = c.queue[0]
+		c.queue = c.queue[1:]
+		delete(c.items, evictedItem)
+		evicted = true
+	}
+	c.items[item] = struct{}{}
+	c.queue = append(c.queue, item)
+	return evictedItem, evicted, true
+}
+
+// Items implements Cache.
+func (c *FIFO) Items() []uint64 { return append([]uint64(nil), c.queue...) }
+
+// Reset implements Cache.
+func (c *FIFO) Reset() {
+	c.items = make(map[uint64]struct{}, c.k)
+	c.queue = nil
+}
+
+// CLOCK approximates LRU with a second-chance bit per item.
+type CLOCK struct {
+	k     int
+	items map[uint64]int // item -> slot index
+	slots []clockSlot
+	hand  int
+}
+
+type clockSlot struct {
+	item uint64
+	used bool
+	full bool
+}
+
+// NewCLOCK returns an empty CLOCK cache of capacity k.
+func NewCLOCK(k int) *CLOCK {
+	validateCap(k)
+	return &CLOCK{k: k, items: make(map[uint64]int, k), slots: make([]clockSlot, k)}
+}
+
+// NewCLOCKFactory adapts NewCLOCK to the Factory signature.
+func NewCLOCKFactory(k int, _ uint64) Cache { return NewCLOCK(k) }
+
+// Name implements Cache.
+func (c *CLOCK) Name() string { return "clock" }
+
+// Cap implements Cache.
+func (c *CLOCK) Cap() int { return c.k }
+
+// Len implements Cache.
+func (c *CLOCK) Len() int { return len(c.items) }
+
+// Contains implements Cache.
+func (c *CLOCK) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+
+// Access implements Cache.
+func (c *CLOCK) Access(item uint64) (uint64, bool, bool) {
+	if i, ok := c.items[item]; ok {
+		c.slots[i].used = true
+		return 0, false, false
+	}
+	// Find a slot: first an empty one, otherwise sweep the hand.
+	if len(c.items) < c.k {
+		for i := range c.slots {
+			if !c.slots[i].full {
+				c.slots[i] = clockSlot{item: item, used: true, full: true}
+				c.items[item] = i
+				return 0, false, true
+			}
+		}
+	}
+	for {
+		s := &c.slots[c.hand]
+		if s.used {
+			s.used = false
+			c.hand = (c.hand + 1) % c.k
+			continue
+		}
+		evictedItem := s.item
+		delete(c.items, evictedItem)
+		*s = clockSlot{item: item, used: true, full: true}
+		c.items[item] = c.hand
+		c.hand = (c.hand + 1) % c.k
+		return evictedItem, true, true
+	}
+}
+
+// Items implements Cache.
+func (c *CLOCK) Items() []uint64 {
+	out := make([]uint64, 0, len(c.items))
+	for it := range c.items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Reset implements Cache.
+func (c *CLOCK) Reset() {
+	c.items = make(map[uint64]int, c.k)
+	c.slots = make([]clockSlot, c.k)
+	c.hand = 0
+}

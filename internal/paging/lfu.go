@@ -1,0 +1,116 @@
+package paging
+
+// LFU evicts the item with the smallest access frequency (ties broken by
+// least-recent use). Frequencies persist only while the item is cached.
+type LFU struct {
+	k     int
+	items map[uint64]*lfuEntry
+	tick  uint64
+}
+
+type lfuEntry struct {
+	freq     int
+	lastUsed uint64
+}
+
+// NewLFU returns an empty LFU cache of capacity k.
+func NewLFU(k int) *LFU {
+	validateCap(k)
+	return &LFU{k: k, items: make(map[uint64]*lfuEntry, k)}
+}
+
+// NewLFUFactory adapts NewLFU to the Factory signature.
+func NewLFUFactory(k int, _ uint64) Cache { return NewLFU(k) }
+
+// Name implements Cache.
+func (c *LFU) Name() string { return "lfu" }
+
+// Cap implements Cache.
+func (c *LFU) Cap() int { return c.k }
+
+// Len implements Cache.
+func (c *LFU) Len() int { return len(c.items) }
+
+// Contains implements Cache.
+func (c *LFU) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+
+// Access implements Cache.
+func (c *LFU) Access(item uint64) (uint64, bool, bool) {
+	c.tick++
+	if e, ok := c.items[item]; ok {
+		e.freq++
+		e.lastUsed = c.tick
+		return 0, false, false
+	}
+	var evictedItem uint64
+	evicted := false
+	if len(c.items) == c.k {
+		var victim uint64
+		var ve *lfuEntry
+		for it, e := range c.items {
+			if ve == nil || e.freq < ve.freq || (e.freq == ve.freq && e.lastUsed < ve.lastUsed) {
+				victim, ve = it, e
+			}
+		}
+		delete(c.items, victim)
+		evictedItem, evicted = victim, true
+	}
+	c.items[item] = &lfuEntry{freq: 1, lastUsed: c.tick}
+	return evictedItem, evicted, true
+}
+
+// Items implements Cache.
+func (c *LFU) Items() []uint64 {
+	out := make([]uint64, 0, len(c.items))
+	for it := range c.items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Reset implements Cache.
+func (c *LFU) Reset() {
+	c.items = make(map[uint64]*lfuEntry, c.k)
+	c.tick = 0
+}
+
+// FWF is flush-when-full: when the cache is full and a miss occurs, the
+// entire cache is emptied. The simplest marking-family algorithm; its misses
+// count phases exactly. Note that unlike the other caches, a single Access
+// can evict many items; FWF therefore does not implement the Cache
+// interface's one-eviction contract and gets its own type.
+type FWF struct {
+	k     int
+	items map[uint64]struct{}
+}
+
+// NewFWF returns an empty flush-when-full cache of capacity k.
+func NewFWF(k int) *FWF {
+	validateCap(k)
+	return &FWF{k: k, items: make(map[uint64]struct{}, k)}
+}
+
+// Cap returns the capacity.
+func (c *FWF) Cap() int { return c.k }
+
+// Len returns the number of cached items.
+func (c *FWF) Len() int { return len(c.items) }
+
+// Contains reports whether item is cached.
+func (c *FWF) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+
+// Access requests item, returning all evicted items and whether it missed.
+func (c *FWF) Access(item uint64) (evictedItems []uint64, miss bool) {
+	if _, ok := c.items[item]; ok {
+		return nil, false
+	}
+	if len(c.items) == c.k {
+		evictedItems = make([]uint64, 0, len(c.items))
+		for it := range c.items {
+			evictedItems = append(evictedItems, it)
+		}
+		clear(c.items)
+	}
+	c.items[item] = struct{}{}
+	return evictedItems, true
+}

@@ -1,0 +1,104 @@
+package paging
+
+// LRU evicts the least-recently-used item. Deterministic, k-competitive.
+type LRU struct {
+	k     int
+	items map[uint64]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	item       uint64
+	prev, next *lruNode
+}
+
+// NewLRU returns an empty LRU cache of capacity k.
+func NewLRU(k int) *LRU {
+	validateCap(k)
+	return &LRU{k: k, items: make(map[uint64]*lruNode, k)}
+}
+
+// NewLRUFactory adapts NewLRU to the Factory signature.
+func NewLRUFactory(k int, _ uint64) Cache { return NewLRU(k) }
+
+// Name implements Cache.
+func (c *LRU) Name() string { return "lru" }
+
+// Cap implements Cache.
+func (c *LRU) Cap() int { return c.k }
+
+// Len implements Cache.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Contains implements Cache.
+func (c *LRU) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+
+// Access implements Cache.
+func (c *LRU) Access(item uint64) (uint64, bool, bool) {
+	if n, ok := c.items[item]; ok {
+		c.moveToFront(n)
+		return 0, false, false
+	}
+	var evictedItem uint64
+	evicted := false
+	if len(c.items) == c.k {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.items, victim.item)
+		evictedItem, evicted = victim.item, true
+	}
+	n := &lruNode{item: item}
+	c.items[item] = n
+	c.pushFront(n)
+	return evictedItem, evicted, true
+}
+
+// Items implements Cache.
+func (c *LRU) Items() []uint64 {
+	out := make([]uint64, 0, len(c.items))
+	for n := c.head; n != nil; n = n.next {
+		out = append(out, n.item)
+	}
+	return out
+}
+
+// Reset implements Cache.
+func (c *LRU) Reset() {
+	c.items = make(map[uint64]*lruNode, c.k)
+	c.head, c.tail = nil, nil
+}
+
+func (c *LRU) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

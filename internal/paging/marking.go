@@ -1,0 +1,208 @@
+package paging
+
+import "obm/internal/stats"
+
+// Marking is the randomized marking algorithm (Fiat, Karp, Luby, McGeoch,
+// Sleator, Young 1991): requests mark their item; on a miss with a full
+// cache, a uniformly random *unmarked* item is evicted; when every cached
+// item is marked and a miss occurs, a new phase starts and all marks are
+// cleared. Randomized marking is 2·H_k-competitive against cache size k,
+// and 2·ln(k/(k−h+1))-competitive against an offline optimum with cache
+// size h ≤ k (Young 1991) — the bound that powers R-BMA's (b,a) guarantee.
+type Marking struct {
+	k        int
+	rng      *stats.Rand
+	seed     uint64
+	pos      map[uint64]int // item -> index in slots
+	slots    []uint64       // cached items; [0, nMarked) are marked
+	nMarked  int
+	phases   int
+	detFirst bool // deterministic variant: evict first unmarked instead of random
+}
+
+// NewMarking returns a randomized marking cache of capacity k seeded with
+// seed.
+func NewMarking(k int, seed uint64) *Marking {
+	validateCap(k)
+	return &Marking{
+		k:     k,
+		rng:   stats.NewRand(seed),
+		seed:  seed,
+		pos:   make(map[uint64]int, k),
+		slots: make([]uint64, 0, k),
+	}
+}
+
+// NewMarkingFactory adapts NewMarking to the Factory signature.
+func NewMarkingFactory(k int, seed uint64) Cache { return NewMarking(k, seed) }
+
+// NewDeterministicMarking returns the deterministic marking variant, which
+// always evicts the first unmarked item (k-competitive). Used as an ablation
+// baseline isolating the value of randomization.
+func NewDeterministicMarking(k int) *Marking {
+	m := NewMarking(k, 0)
+	m.detFirst = true
+	return m
+}
+
+// NewDeterministicMarkingFactory adapts NewDeterministicMarking to Factory.
+func NewDeterministicMarkingFactory(k int, _ uint64) Cache {
+	return NewDeterministicMarking(k)
+}
+
+// Name implements Cache.
+func (c *Marking) Name() string {
+	if c.detFirst {
+		return "marking-det"
+	}
+	return "marking"
+}
+
+// Cap implements Cache.
+func (c *Marking) Cap() int { return c.k }
+
+// Len implements Cache.
+func (c *Marking) Len() int { return len(c.slots) }
+
+// Contains implements Cache.
+func (c *Marking) Contains(item uint64) bool { _, ok := c.pos[item]; return ok }
+
+// Phases returns the number of completed marking phases, exposed for the
+// phase-structure tests and the competitive analysis (cost per phase is at
+// most the number of "new" items in it).
+func (c *Marking) Phases() int { return c.phases }
+
+// Marked reports whether item is cached and marked.
+func (c *Marking) Marked(item uint64) bool {
+	i, ok := c.pos[item]
+	return ok && i < c.nMarked
+}
+
+// Access implements Cache.
+func (c *Marking) Access(item uint64) (uint64, bool, bool) {
+	if i, ok := c.pos[item]; ok {
+		c.mark(i)
+		return 0, false, false
+	}
+	var evictedItem uint64
+	evicted := false
+	if len(c.slots) == c.k {
+		if c.nMarked == c.k {
+			// All marked: new phase, clear all marks.
+			c.phases++
+			c.nMarked = 0
+		}
+		// Evict an unmarked item: uniform random, or first for the
+		// deterministic variant. Unmarked items live at [nMarked, len).
+		idx := c.nMarked
+		if !c.detFirst {
+			idx += c.rng.Intn(len(c.slots) - c.nMarked)
+		}
+		evictedItem = c.slots[idx]
+		evicted = true
+		last := len(c.slots) - 1
+		c.slots[idx] = c.slots[last]
+		c.pos[c.slots[idx]] = idx
+		c.slots = c.slots[:last]
+		delete(c.pos, evictedItem)
+	}
+	// Fetch and mark the new item.
+	c.slots = append(c.slots, item)
+	i := len(c.slots) - 1
+	c.pos[item] = i
+	c.mark(i)
+	return evictedItem, evicted, true
+}
+
+// mark moves the item at index i into the marked prefix.
+func (c *Marking) mark(i int) {
+	if i < c.nMarked {
+		return
+	}
+	j := c.nMarked
+	c.slots[i], c.slots[j] = c.slots[j], c.slots[i]
+	c.pos[c.slots[i]] = i
+	c.pos[c.slots[j]] = j
+	c.nMarked++
+}
+
+// Items implements Cache.
+func (c *Marking) Items() []uint64 { return append([]uint64(nil), c.slots...) }
+
+// Reset implements Cache.
+func (c *Marking) Reset() {
+	c.rng = stats.NewRand(c.seed)
+	c.pos = make(map[uint64]int, c.k)
+	c.slots = c.slots[:0]
+	c.nMarked = 0
+	c.phases = 0
+}
+
+// RandomEvict evicts a uniformly random cached item on each miss. A weak
+// randomized baseline (k-competitive only in expectation against oblivious
+// adversaries); included as an ablation.
+type RandomEvict struct {
+	k     int
+	rng   *stats.Rand
+	seed  uint64
+	pos   map[uint64]int
+	slots []uint64
+}
+
+// NewRandomEvict returns a random-eviction cache of capacity k.
+func NewRandomEvict(k int, seed uint64) *RandomEvict {
+	validateCap(k)
+	return &RandomEvict{
+		k:    k,
+		rng:  stats.NewRand(seed),
+		seed: seed,
+		pos:  make(map[uint64]int, k),
+	}
+}
+
+// NewRandomEvictFactory adapts NewRandomEvict to the Factory signature.
+func NewRandomEvictFactory(k int, seed uint64) Cache { return NewRandomEvict(k, seed) }
+
+// Name implements Cache.
+func (c *RandomEvict) Name() string { return "random" }
+
+// Cap implements Cache.
+func (c *RandomEvict) Cap() int { return c.k }
+
+// Len implements Cache.
+func (c *RandomEvict) Len() int { return len(c.slots) }
+
+// Contains implements Cache.
+func (c *RandomEvict) Contains(item uint64) bool { _, ok := c.pos[item]; return ok }
+
+// Access implements Cache.
+func (c *RandomEvict) Access(item uint64) (uint64, bool, bool) {
+	if _, ok := c.pos[item]; ok {
+		return 0, false, false
+	}
+	var evictedItem uint64
+	evicted := false
+	if len(c.slots) == c.k {
+		idx := c.rng.Intn(len(c.slots))
+		evictedItem = c.slots[idx]
+		last := len(c.slots) - 1
+		c.slots[idx] = c.slots[last]
+		c.pos[c.slots[idx]] = idx
+		c.slots = c.slots[:last]
+		delete(c.pos, evictedItem)
+		evicted = true
+	}
+	c.slots = append(c.slots, item)
+	c.pos[item] = len(c.slots) - 1
+	return evictedItem, evicted, true
+}
+
+// Items implements Cache.
+func (c *RandomEvict) Items() []uint64 { return append([]uint64(nil), c.slots...) }
+
+// Reset implements Cache.
+func (c *RandomEvict) Reset() {
+	c.rng = stats.NewRand(c.seed)
+	c.pos = make(map[uint64]int, c.k)
+	c.slots = c.slots[:0]
+}

@@ -1,0 +1,134 @@
+package paging
+
+import "fmt"
+
+// MIN is Belady's offline-optimal paging algorithm: on a miss with a full
+// cache it evicts the cached item whose next use is farthest in the future.
+// It must be constructed with the full request sequence and accessed in
+// exactly that order; Access panics otherwise. MIN minimizes the number of
+// misses over any (even offline) algorithm with the same cache size, so it
+// provides the offline-optimum denominator in empirical competitive-ratio
+// measurements.
+type MIN struct {
+	k       int
+	seq     []uint64
+	nextOcc []int          // nextOcc[i]: next index after i with the same item (len(seq) if none)
+	pos     int            // current position in seq
+	items   map[uint64]int // cached item -> its next-use index
+}
+
+// NewMIN builds the offline MIN cache for the given sequence.
+func NewMIN(k int, seq []uint64) *MIN {
+	validateCap(k)
+	m := &MIN{
+		k:       k,
+		seq:     seq,
+		nextOcc: make([]int, len(seq)),
+		items:   make(map[uint64]int, k),
+	}
+	last := make(map[uint64]int, len(seq))
+	for i := len(seq) - 1; i >= 0; i-- {
+		if j, ok := last[seq[i]]; ok {
+			m.nextOcc[i] = j
+		} else {
+			m.nextOcc[i] = len(seq)
+		}
+		last[seq[i]] = i
+	}
+	return m
+}
+
+// Name implements Cache.
+func (c *MIN) Name() string { return "min" }
+
+// Cap implements Cache.
+func (c *MIN) Cap() int { return c.k }
+
+// Len implements Cache.
+func (c *MIN) Len() int { return len(c.items) }
+
+// Contains implements Cache.
+func (c *MIN) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+
+// Access implements Cache. The item must equal the next element of the
+// sequence MIN was constructed with.
+func (c *MIN) Access(item uint64) (uint64, bool, bool) {
+	if c.pos >= len(c.seq) {
+		panic("paging: MIN accessed past the end of its sequence")
+	}
+	if c.seq[c.pos] != item {
+		panic(fmt.Sprintf("paging: MIN accessed out of order at %d: got %d, want %d",
+			c.pos, item, c.seq[c.pos]))
+	}
+	next := c.nextOcc[c.pos]
+	c.pos++
+	if _, ok := c.items[item]; ok {
+		c.items[item] = next
+		return 0, false, false
+	}
+	var evictedItem uint64
+	evicted := false
+	if len(c.items) == c.k {
+		var victim uint64
+		far := -1
+		for it, nu := range c.items {
+			if nu > far {
+				far = nu
+				victim = it
+			}
+		}
+		delete(c.items, victim)
+		evictedItem, evicted = victim, true
+	}
+	c.items[item] = next
+	return evictedItem, evicted, true
+}
+
+// Items implements Cache.
+func (c *MIN) Items() []uint64 {
+	out := make([]uint64, 0, len(c.items))
+	for it := range c.items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Reset implements Cache, rewinding to the start of the sequence.
+func (c *MIN) Reset() {
+	c.pos = 0
+	c.items = make(map[uint64]int, c.k)
+}
+
+// OfflineCost returns MIN's total miss count on its whole sequence.
+func OfflineCost(k int, seq []uint64) int {
+	m := NewMIN(k, seq)
+	misses := 0
+	for _, it := range seq {
+		if _, _, miss := m.Access(it); miss {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Phases decomposes seq into k-phases: maximal consecutive segments
+// containing at most k distinct items. Returns the start index of each
+// phase. Phase counting underlies the analysis of all marking algorithms.
+func Phases(k int, seq []uint64) []int {
+	if k < 1 {
+		panic("paging: Phases with k < 1")
+	}
+	starts := []int{}
+	distinct := make(map[uint64]struct{}, k+1)
+	for i, it := range seq {
+		if len(starts) == 0 {
+			starts = append(starts, i)
+		}
+		if _, ok := distinct[it]; !ok && len(distinct) == k {
+			starts = append(starts, i)
+			clear(distinct)
+		}
+		distinct[it] = struct{}{}
+	}
+	return starts
+}

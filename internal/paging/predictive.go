@@ -1,0 +1,127 @@
+package paging
+
+import (
+	"math"
+
+	"obm/internal/stats"
+)
+
+// Predictive is a prediction-augmented paging algorithm in the
+// "algorithms with predictions" style: on a miss it evicts the cached item
+// whose *predicted* next use is farthest away (Belady's rule applied to
+// predictions instead of the truth). The prediction oracle is the true
+// next-use time perturbed by multiplicative log-normal noise of magnitude
+// sigma: sigma = 0 recovers offline MIN, sigma → ∞ degenerates towards
+// random eviction. This implements the experiment suggested by the paper's
+// future-work discussion (§5): how much of the gap between online marking
+// and clairvoyant eviction can imperfect predictions close?
+//
+// Like MIN, it must be constructed with the full request sequence and
+// accessed in exactly that order.
+type Predictive struct {
+	min   *MIN
+	sigma float64
+	rng   *stats.Rand
+	seed  uint64
+	pred  map[uint64]float64 // cached item -> predicted next use
+	pos   int
+	seq   []uint64
+}
+
+// NewPredictive builds the predictive cache for the given sequence with
+// noise level sigma >= 0.
+func NewPredictive(k int, seq []uint64, sigma float64, seed uint64) *Predictive {
+	if sigma < 0 {
+		panic("paging: NewPredictive with negative sigma")
+	}
+	return &Predictive{
+		min:   NewMIN(k, seq),
+		sigma: sigma,
+		rng:   stats.NewRand(seed),
+		seed:  seed,
+		pred:  make(map[uint64]float64, k),
+		seq:   seq,
+	}
+}
+
+// Name implements Cache.
+func (c *Predictive) Name() string { return "predictive" }
+
+// Cap implements Cache.
+func (c *Predictive) Cap() int { return c.min.Cap() }
+
+// Len implements Cache.
+func (c *Predictive) Len() int { return len(c.pred) }
+
+// Contains implements Cache.
+func (c *Predictive) Contains(item uint64) bool {
+	_, ok := c.pred[item]
+	return ok
+}
+
+// Access implements Cache. The item must follow the construction sequence.
+func (c *Predictive) Access(item uint64) (uint64, bool, bool) {
+	if c.pos >= len(c.seq) || c.seq[c.pos] != item {
+		panic("paging: Predictive accessed out of order")
+	}
+	trueNext := float64(c.min.nextOcc[c.pos])
+	c.pos++
+	// Perturb the horizon (distance to next use), not the absolute index:
+	// log-normal noise keeps predictions positive and orders-of-magnitude
+	// calibrated.
+	horizon := trueNext - float64(c.pos-1)
+	if c.sigma > 0 {
+		horizon *= lognormal(c.rng, c.sigma)
+	}
+	predicted := float64(c.pos-1) + horizon
+	if _, ok := c.pred[item]; ok {
+		c.pred[item] = predicted
+		return 0, false, false
+	}
+	var evictedItem uint64
+	evicted := false
+	if len(c.pred) == c.min.Cap() {
+		var victim uint64
+		far := -1.0
+		for it, nu := range c.pred {
+			if nu > far || (nu == far && it > victim) {
+				far = nu
+				victim = it
+			}
+		}
+		delete(c.pred, victim)
+		evictedItem, evicted = victim, true
+	}
+	c.pred[item] = predicted
+	return evictedItem, evicted, true
+}
+
+// lognormal draws exp(sigma·N(0,1)), clamping extreme tails so horizons
+// stay finite.
+func lognormal(r *stats.Rand, sigma float64) float64 {
+	x := sigma * r.NormFloat64()
+	if x > 30 {
+		x = 30
+	}
+	if x < -30 {
+		x = -30
+	}
+	return math.Exp(x)
+}
+
+// Items implements Cache.
+func (c *Predictive) Items() []uint64 {
+	out := make([]uint64, 0, len(c.pred))
+	for it := range c.pred {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Reset implements Cache, rewinding to the start of the sequence.
+func (c *Predictive) Reset() {
+	c.min.Reset()
+	c.rng = stats.NewRand(c.seed)
+	c.pred = make(map[uint64]float64, c.min.Cap())
+	c.pos = 0
+}

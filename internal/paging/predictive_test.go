@@ -1,0 +1,118 @@
+package paging
+
+import (
+	"testing"
+
+	"obm/internal/stats"
+)
+
+func randomSeq(n, universe int, seed uint64) []uint64 {
+	r := stats.NewRand(seed)
+	seq := make([]uint64, n)
+	for i := range seq {
+		seq[i] = uint64(r.Intn(universe))
+	}
+	return seq
+}
+
+func costOf(c interface {
+	Access(uint64) (uint64, bool, bool)
+}, seq []uint64) int {
+	misses := 0
+	for _, it := range seq {
+		if _, _, miss := c.Access(it); miss {
+			misses++
+		}
+	}
+	return misses
+}
+
+func TestPredictiveZeroNoiseEqualsMIN(t *testing.T) {
+	seq := randomSeq(5000, 12, 3)
+	k := 4
+	min := OfflineCost(k, seq)
+	pred := costOf(NewPredictive(k, seq, 0, 1), seq)
+	if pred != min {
+		t.Fatalf("σ=0 predictive = %d, MIN = %d", pred, min)
+	}
+}
+
+func TestPredictiveDegradesGracefully(t *testing.T) {
+	seq := randomSeq(20000, 20, 7)
+	k := 5
+	min := OfflineCost(k, seq)
+	low := costOf(NewPredictive(k, seq, 0.3, 1), seq)
+	high := costOf(NewPredictive(k, seq, 5.0, 1), seq)
+	if low < min {
+		t.Fatalf("predictive beat MIN: %d < %d", low, min)
+	}
+	// Low noise should stay close to MIN; heavy noise should be worse than
+	// low noise but still a working cache (≤ every-request misses).
+	if float64(low) > 1.25*float64(min) {
+		t.Fatalf("σ=0.3 cost %d too far above MIN %d", low, min)
+	}
+	if high < low {
+		t.Fatalf("more noise should not help: σ=5 %d < σ=0.3 %d", high, low)
+	}
+	if high > len(seq) {
+		t.Fatalf("cost exceeds sequence length")
+	}
+}
+
+func TestPredictiveRespectsCapacity(t *testing.T) {
+	seq := randomSeq(3000, 15, 9)
+	c := NewPredictive(3, seq, 1.0, 2)
+	for _, it := range seq {
+		c.Access(it)
+		if c.Len() > 3 {
+			t.Fatal("capacity exceeded")
+		}
+		if !c.Contains(it) {
+			t.Fatal("no bypassing allowed")
+		}
+	}
+}
+
+func TestPredictiveDeterministicPerSeed(t *testing.T) {
+	seq := randomSeq(5000, 10, 11)
+	a := costOf(NewPredictive(4, seq, 1.0, 42), seq)
+	b := costOf(NewPredictive(4, seq, 1.0, 42), seq)
+	if a != b {
+		t.Fatal("same seed must give identical behaviour")
+	}
+}
+
+func TestPredictiveReset(t *testing.T) {
+	seq := randomSeq(1000, 8, 13)
+	c := NewPredictive(3, seq, 0.5, 5)
+	first := costOf(c, seq)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset did not empty cache")
+	}
+	second := costOf(c, seq)
+	if first != second {
+		t.Fatal("replay after Reset differs")
+	}
+}
+
+func TestPredictivePanics(t *testing.T) {
+	seq := []uint64{1, 2, 3}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sigma accepted")
+			}
+		}()
+		NewPredictive(2, seq, -1, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-order access accepted")
+			}
+		}()
+		c := NewPredictive(2, seq, 0, 0)
+		c.Access(2)
+	}()
+}

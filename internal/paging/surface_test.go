@@ -1,0 +1,79 @@
+package paging
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestCacheSurface exercises the full Cache interface surface (Name, Cap,
+// Items, Reset) on every implementation, including the sequence-bound ones.
+func TestCacheSurface(t *testing.T) {
+	seq := []uint64{5, 9, 5, 2, 7, 9, 2}
+	caches := map[string]Cache{
+		"lru":         NewLRU(3),
+		"fifo":        NewFIFO(3),
+		"clock":       NewCLOCK(3),
+		"lfu":         NewLFU(3),
+		"marking":     NewMarking(3, 1),
+		"marking-det": NewDeterministicMarking(3),
+		"random":      NewRandomEvict(3, 1),
+		"min":         NewMIN(3, seq),
+		"predictive":  NewPredictive(3, seq, 0.5, 1),
+	}
+	for name, c := range caches {
+		t.Run(name, func(t *testing.T) {
+			if c.Name() == "" {
+				t.Error("empty Name")
+			}
+			if c.Cap() != 3 {
+				t.Errorf("Cap = %d", c.Cap())
+			}
+			for _, it := range seq {
+				c.Access(it)
+			}
+			items := c.Items()
+			if len(items) != c.Len() {
+				t.Fatalf("Items() has %d entries, Len() = %d", len(items), c.Len())
+			}
+			sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+			for i := 1; i < len(items); i++ {
+				if items[i] == items[i-1] {
+					t.Fatalf("duplicate item %d in Items()", items[i])
+				}
+			}
+			for _, it := range items {
+				if !c.Contains(it) {
+					t.Fatalf("Items() reports %d but Contains is false", it)
+				}
+			}
+			c.Reset()
+			if c.Len() != 0 || len(c.Items()) != 0 {
+				t.Fatal("Reset did not clear")
+			}
+			// Sequence-bound caches must replay identically after Reset.
+			for _, it := range seq {
+				c.Access(it)
+			}
+			if c.Len() == 0 {
+				t.Fatal("cache unusable after Reset")
+			}
+		})
+	}
+}
+
+// TestFWFSurface covers the flush-when-full type separately (it has its own
+// multi-eviction Access signature).
+func TestFWFSurface(t *testing.T) {
+	c := NewFWF(2)
+	if c.Cap() != 2 || c.Len() != 0 {
+		t.Fatal("fresh FWF state wrong")
+	}
+	c.Access(1)
+	if evs, miss := c.Access(1); miss || evs != nil {
+		t.Fatal("hit mishandled")
+	}
+	c.Access(2)
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("contents wrong")
+	}
+}

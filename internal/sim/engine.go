@@ -1,0 +1,141 @@
+// Package sim is the trace-driven simulation harness: it replays request
+// traces through online algorithms, records checkpointed cumulative cost
+// curves and wall-clock execution time (the paper's Figures 1–4 plot
+// exactly these two quantities), averages repetitions, and renders results
+// as CSV and quick ASCII charts.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"obm/internal/core"
+	"obm/internal/trace"
+)
+
+// Series is one cumulative-cost curve: at X[i] requests served, the
+// algorithm had paid Routing[i] routing cost and Reconfig[i]
+// reconfiguration cost.
+type Series struct {
+	Label    string
+	X        []int
+	Routing  []float64
+	Reconfig []float64
+}
+
+// Total returns Routing[i] + Reconfig[i].
+func (s *Series) Total(i int) float64 { return s.Routing[i] + s.Reconfig[i] }
+
+// RunResult is the outcome of replaying one trace through one algorithm.
+type RunResult struct {
+	Series            Series
+	Elapsed           time.Duration // wall-clock time of the decision loop
+	Adds, Removals    int
+	FinalMatchingSize int
+}
+
+// Checkpoints returns num evenly spaced checkpoints ending at total.
+func Checkpoints(total, num int) []int {
+	if num < 1 || total < 1 {
+		panic("sim: Checkpoints requires positive total and num")
+	}
+	if num > total {
+		num = total
+	}
+	out := make([]int, num)
+	for i := 1; i <= num; i++ {
+		out[i-1] = total * i / num
+	}
+	return out
+}
+
+// Run replays tr through alg, recording cumulative costs at the given
+// checkpoints (request counts, ascending). Elapsed time covers only the
+// Serve loop, mirroring the paper's sequential execution-time measurement.
+func Run(alg core.Algorithm, tr *trace.Trace, alpha float64, checkpoints []int) (RunResult, error) {
+	if err := tr.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			return RunResult{}, fmt.Errorf("sim: checkpoints must be ascending")
+		}
+	}
+	if len(checkpoints) > 0 && checkpoints[len(checkpoints)-1] > tr.Len() {
+		return RunResult{}, fmt.Errorf("sim: checkpoint %d beyond trace length %d",
+			checkpoints[len(checkpoints)-1], tr.Len())
+	}
+	res := RunResult{Series: Series{Label: alg.Name()}}
+	var routing, reconfig float64
+	ci := 0
+	start := time.Now()
+	for i, req := range tr.Reqs {
+		st := alg.Serve(int(req.Src), int(req.Dst))
+		routing += st.RoutingCost
+		reconfig += st.ReconfigCost(alpha)
+		res.Adds += st.Adds
+		res.Removals += st.Removals
+		for ci < len(checkpoints) && i+1 == checkpoints[ci] {
+			res.Series.X = append(res.Series.X, i+1)
+			res.Series.Routing = append(res.Series.Routing, routing)
+			res.Series.Reconfig = append(res.Series.Reconfig, reconfig)
+			ci++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.FinalMatchingSize = alg.MatchingSize()
+	return res, nil
+}
+
+// Averaged is the mean of several runs of the same configuration with
+// different seeds (the paper averages 5 repetitions).
+type Averaged struct {
+	Label    string
+	X        []int
+	Routing  []float64 // mean cumulative routing cost
+	Reconfig []float64
+	Elapsed  time.Duration // mean wall-clock time
+	Reps     int
+}
+
+// AlgFactory builds a fresh algorithm instance for repetition rep.
+// Deterministic algorithms can ignore rep.
+type AlgFactory func(rep uint64) (core.Algorithm, error)
+
+// RunAveraged replays tr through reps independent instances and averages
+// the curves.
+func RunAveraged(f AlgFactory, tr *trace.Trace, alpha float64, checkpoints []int, reps int) (Averaged, error) {
+	if reps < 1 {
+		return Averaged{}, fmt.Errorf("sim: reps must be >= 1")
+	}
+	var avg Averaged
+	avg.Reps = reps
+	var totalElapsed time.Duration
+	for rep := 0; rep < reps; rep++ {
+		alg, err := f(uint64(rep))
+		if err != nil {
+			return Averaged{}, err
+		}
+		res, err := Run(alg, tr, alpha, checkpoints)
+		if err != nil {
+			return Averaged{}, err
+		}
+		if rep == 0 {
+			avg.Label = res.Series.Label
+			avg.X = res.Series.X
+			avg.Routing = make([]float64, len(res.Series.Routing))
+			avg.Reconfig = make([]float64, len(res.Series.Reconfig))
+		}
+		for i := range res.Series.Routing {
+			avg.Routing[i] += res.Series.Routing[i]
+			avg.Reconfig[i] += res.Series.Reconfig[i]
+		}
+		totalElapsed += res.Elapsed
+	}
+	for i := range avg.Routing {
+		avg.Routing[i] /= float64(reps)
+		avg.Reconfig[i] /= float64(reps)
+	}
+	avg.Elapsed = totalElapsed / time.Duration(reps)
+	return avg, nil
+}

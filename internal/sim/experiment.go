@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"obm/internal/core"
+	"obm/internal/trace"
+)
+
+// AlgSpec names an algorithm family and knows how to instantiate it for a
+// given degree cap b and repetition seed.
+type AlgSpec struct {
+	Name string
+	// New builds the instance; rep differs per repetition so randomized
+	// algorithms get fresh seeds.
+	New func(b int, rep uint64) (core.Algorithm, error)
+	// FixedB, when >= 0, pins the algorithm to one b regardless of the
+	// sweep (used for Oblivious, which has no b).
+	FixedB int
+}
+
+// Config describes one experiment: a trace replayed by several algorithm
+// families across a sweep of b values, averaged over Reps repetitions.
+type Config struct {
+	Name        string
+	Trace       *trace.Trace
+	Model       core.CostModel
+	Bs          []int
+	Reps        int
+	Checkpoints []int
+}
+
+// Curve is an averaged result annotated with its configuration.
+type Curve struct {
+	Alg string
+	B   int
+	Avg Averaged
+}
+
+// Result collects every curve of an experiment.
+type Result struct {
+	Name   string
+	Curves []Curve
+}
+
+// RunExperiment executes cfg for each algorithm spec and each b.
+func RunExperiment(cfg Config, specs []AlgSpec) (*Result, error) {
+	if cfg.Reps < 1 {
+		return nil, fmt.Errorf("sim: experiment %q needs Reps >= 1", cfg.Name)
+	}
+	if len(cfg.Bs) == 0 {
+		return nil, fmt.Errorf("sim: experiment %q needs a b sweep", cfg.Name)
+	}
+	res := &Result{Name: cfg.Name}
+	for _, spec := range specs {
+		bs := cfg.Bs
+		if spec.FixedB >= 0 {
+			bs = []int{spec.FixedB}
+		}
+		for _, b := range bs {
+			f := func(rep uint64) (core.Algorithm, error) { return spec.New(b, rep) }
+			avg, err := RunAveraged(f, cfg.Trace, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s/%s(b=%d): %w", cfg.Name, spec.Name, b, err)
+			}
+			res.Curves = append(res.Curves, Curve{Alg: spec.Name, B: b, Avg: avg})
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON emits the experiment result as JSON (one object with the
+// experiment name and the list of curves).
+func (r *Result) WriteJSON(w io.Writer) error {
+	type jsonCurve struct {
+		Alg       string    `json:"alg"`
+		B         int       `json:"b"`
+		X         []int     `json:"requests"`
+		Routing   []float64 `json:"routing_cost"`
+		Reconfig  []float64 `json:"reconfig_cost"`
+		ElapsedMS float64   `json:"elapsed_ms"`
+		Reps      int       `json:"reps"`
+	}
+	out := struct {
+		Name   string      `json:"experiment"`
+		Curves []jsonCurve `json:"curves"`
+	}{Name: r.Name}
+	for _, c := range r.Curves {
+		out.Curves = append(out.Curves, jsonCurve{
+			Alg:       c.Alg,
+			B:         c.B,
+			X:         c.Avg.X,
+			Routing:   c.Avg.Routing,
+			Reconfig:  c.Avg.Reconfig,
+			ElapsedMS: float64(c.Avg.Elapsed) / float64(time.Millisecond),
+			Reps:      c.Avg.Reps,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV emits the experiment result as tidy CSV:
+// experiment,alg,b,requests,routing_cost,reconfig_cost,total_cost,elapsed_ms
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "experiment,alg,b,requests,routing_cost,reconfig_cost,total_cost,elapsed_ms"); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		for i, x := range c.Avg.X {
+			total := c.Avg.Routing[i] + c.Avg.Reconfig[i]
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.1f,%.1f,%.1f,%.3f\n",
+				r.Name, c.Alg, c.B, x, c.Avg.Routing[i], c.Avg.Reconfig[i], total,
+				float64(c.Avg.Elapsed)/float64(time.Millisecond)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FinalRouting returns each curve's final cumulative routing cost, keyed
+// "alg(b=?)", for summary tables.
+func (r *Result) FinalRouting() map[string]float64 {
+	out := make(map[string]float64, len(r.Curves))
+	for _, c := range r.Curves {
+		if len(c.Avg.Routing) == 0 {
+			continue
+		}
+		out[fmt.Sprintf("%s(b=%d)", c.Alg, c.B)] = c.Avg.Routing[len(c.Avg.Routing)-1]
+	}
+	return out
+}
+
+// SummaryRows renders "alg b final_routing elapsed_ms" rows sorted by
+// algorithm then b, for terminal output.
+func (r *Result) SummaryRows() []string {
+	curves := append([]Curve(nil), r.Curves...)
+	sort.Slice(curves, func(i, j int) bool {
+		if curves[i].Alg != curves[j].Alg {
+			return curves[i].Alg < curves[j].Alg
+		}
+		return curves[i].B < curves[j].B
+	})
+	rows := make([]string, 0, len(curves))
+	for _, c := range curves {
+		final := 0.0
+		if n := len(c.Avg.Routing); n > 0 {
+			final = c.Avg.Routing[n-1]
+		}
+		rows = append(rows, fmt.Sprintf("%-22s b=%-3d routing=%.3e  time=%8.2fms",
+			c.Alg, c.B, final, float64(c.Avg.Elapsed)/float64(time.Millisecond)))
+	}
+	return rows
+}

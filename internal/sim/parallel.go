@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"obm/internal/core"
+)
+
+// RunExperimentParallel is RunExperiment with the (algorithm, b) jobs
+// spread over a worker pool. Cost curves are bit-identical to the
+// sequential runner (each job owns its algorithm instances and seeds);
+// wall-clock Elapsed values are still measured per decision loop but can
+// inflate under CPU contention — use the sequential RunExperiment for the
+// execution-time figures, and this for cost-only sweeps.
+// workers <= 0 selects GOMAXPROCS.
+func RunExperimentParallel(cfg Config, specs []AlgSpec, workers int) (*Result, error) {
+	if cfg.Reps < 1 {
+		return nil, fmt.Errorf("sim: experiment %q needs Reps >= 1", cfg.Name)
+	}
+	if len(cfg.Bs) == 0 {
+		return nil, fmt.Errorf("sim: experiment %q needs a b sweep", cfg.Name)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		spec  AlgSpec
+		b     int
+		index int
+	}
+	var jobs []job
+	for _, spec := range specs {
+		bs := cfg.Bs
+		if spec.FixedB >= 0 {
+			bs = []int{spec.FixedB}
+		}
+		for _, b := range bs {
+			jobs = append(jobs, job{spec: spec, b: b, index: len(jobs)})
+		}
+	}
+	curves := make([]Curve, len(jobs))
+	errs := make([]error, len(jobs))
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				f := func(rep uint64) (core.Algorithm, error) { return j.spec.New(j.b, rep) }
+				avg, err := RunAveraged(f, cfg.Trace, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps)
+				if err != nil {
+					errs[j.index] = fmt.Errorf("sim: %s/%s(b=%d): %w", cfg.Name, j.spec.Name, j.b, err)
+					continue
+				}
+				curves[j.index] = Curve{Alg: j.spec.Name, B: j.b, Avg: avg}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Name: cfg.Name, Curves: curves}, nil
+}

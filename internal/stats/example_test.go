@@ -1,0 +1,30 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"obm/internal/stats"
+)
+
+// ExampleRand shows that the generator is deterministic per seed.
+func ExampleRand() {
+	a := stats.NewRand(7)
+	b := stats.NewRand(7)
+	fmt.Println(a.Intn(1000) == b.Intn(1000))
+	// Output: true
+}
+
+// ExampleZipf draws from a finite power-law distribution, the spatial-skew
+// primitive behind the synthetic traces.
+func ExampleZipf() {
+	z := stats.NewZipf(1000, 1.2)
+	r := stats.NewRand(1)
+	low := 0
+	for i := 0; i < 10000; i++ {
+		if z.Sample(r) < 10 {
+			low++
+		}
+	}
+	fmt.Println(low > 3000) // top-10 ranks dominate
+	// Output: true
+}

@@ -1,0 +1,62 @@
+package stats
+
+// BurstChain is a two-state Markov-modulated process used to inject temporal
+// burstiness into synthetic traces. In the ON state the process keeps
+// repeating the current "focus" (e.g. the same communicating rack pair);
+// in the OFF state each step draws fresh.
+//
+// The chain is parameterized by the stationary ON probability pOn and the
+// expected burst length burstLen (number of consecutive ON steps). From
+// these, the transition probabilities are derived:
+//
+//	P(ON→OFF)  = 1/burstLen
+//	P(OFF→ON)  = pOn/(1-pOn) * 1/burstLen   (detailed balance)
+type BurstChain struct {
+	onToOff  float64
+	offToOn  float64
+	on       bool
+	initProb float64
+}
+
+// NewBurstChain constructs the chain. pOn must be in [0, 1) and burstLen
+// must be >= 1. With pOn = 0 the chain never enters the ON state.
+func NewBurstChain(pOn, burstLen float64) *BurstChain {
+	if pOn < 0 || pOn >= 1 {
+		panic("stats: NewBurstChain pOn out of [0,1)")
+	}
+	if burstLen < 1 {
+		panic("stats: NewBurstChain burstLen < 1")
+	}
+	c := &BurstChain{
+		onToOff:  1 / burstLen,
+		initProb: pOn,
+	}
+	if pOn > 0 {
+		c.offToOn = pOn / (1 - pOn) / burstLen
+		if c.offToOn > 1 {
+			c.offToOn = 1
+		}
+	}
+	return c
+}
+
+// Reset draws the initial state from the stationary distribution.
+func (c *BurstChain) Reset(r *Rand) { c.on = r.Bool(c.initProb) }
+
+// Step advances the chain one step and reports whether the process is in
+// the ON (bursting) state after the step.
+func (c *BurstChain) Step(r *Rand) bool {
+	if c.on {
+		if r.Bool(c.onToOff) {
+			c.on = false
+		}
+	} else {
+		if r.Bool(c.offToOn) {
+			c.on = true
+		}
+	}
+	return c.on
+}
+
+// On reports the current state without advancing.
+func (c *BurstChain) On() bool { return c.on }

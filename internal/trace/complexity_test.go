@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAutocorrelationIIDFlat(t *testing.T) {
+	tr := MicrosoftStyle(20, 60000, 3)
+	ac := Autocorrelation(tr, 10)
+	// All lags should hover around the same collision probability.
+	base := ac[0]
+	for lag, v := range ac {
+		if math.Abs(v-base) > 0.02 {
+			t.Fatalf("lag %d: autocorrelation %v deviates from %v on i.i.d. trace", lag+1, v, base)
+		}
+	}
+}
+
+func TestAutocorrelationBurstyDecays(t *testing.T) {
+	p := FacebookPreset(Hadoop, 20, 5)
+	p.Requests = 60000
+	tr, _ := FacebookStyle(p)
+	ac := Autocorrelation(tr, 20)
+	if ac[0] <= ac[19]+0.02 {
+		t.Fatalf("bursty trace should have elevated lag-1 autocorrelation: %v vs %v", ac[0], ac[19])
+	}
+}
+
+func TestAutocorrelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Autocorrelation(&Trace{NumRacks: 2}, 0)
+}
+
+func TestInterArrivalsPointMass(t *testing.T) {
+	reqs := make([]Request, 10)
+	for i := range reqs {
+		reqs[i] = Request{0, 1}
+	}
+	gaps := InterArrivals(&Trace{NumRacks: 2, Reqs: reqs})
+	if len(gaps) != 9 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for _, g := range gaps {
+		if g != 1 {
+			t.Fatalf("gap = %d, want 1", g)
+		}
+	}
+}
+
+func TestInterArrivalsNilWhenNoRepeat(t *testing.T) {
+	tr := &Trace{NumRacks: 4, Reqs: []Request{{0, 1}, {2, 3}}}
+	if gaps := InterArrivals(tr); gaps != nil {
+		t.Fatalf("gaps = %v, want nil", gaps)
+	}
+}
+
+func TestInterArrivalsEmptyTrace(t *testing.T) {
+	if gaps := InterArrivals(&Trace{NumRacks: 2}); gaps != nil {
+		t.Fatal("empty trace should give nil")
+	}
+}

@@ -1,0 +1,31 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"obm/internal/trace"
+)
+
+// ExampleFacebookStyle synthesizes a workload with the spatial skew and
+// temporal locality of the paper's Facebook traces.
+func ExampleFacebookStyle() {
+	p := trace.FacebookPreset(trace.Database, 50, 1)
+	p.Requests = 10000
+	tr, err := trace.FacebookStyle(p)
+	if err != nil {
+		panic(err)
+	}
+	c := trace.Analyze(tr)
+	fmt.Printf("requests=%d skewed=%v temporal=%v\n",
+		tr.Len(), c.PairGini > 0.5, c.TemporalScore > 0.05)
+	// Output: requests=10000 skewed=true temporal=true
+}
+
+// ExampleMakePairKey demonstrates the canonical unordered-pair encoding
+// that all per-pair state is keyed by.
+func ExampleMakePairKey() {
+	k := trace.MakePairKey(7, 3)
+	u, v := k.Endpoints()
+	fmt.Println(u, v, k.Other(3))
+	// Output: 3 7 7
+}

@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"fmt"
+
+	"obm/internal/stats"
+)
+
+// FacebookParams controls the Facebook-style synthetic generator. The
+// generator reproduces the two trace properties the paper's evaluation
+// hinges on (§3.1, citing Avin et al.): spatial skew (a Zipf distribution
+// over rack pairs) and temporal structure (a bounded working set of
+// currently-active pairs plus Markov-modulated bursts that repeat the
+// previous pair).
+//
+// Mechanics per request:
+//  1. If the burst chain is ON, repeat the previous pair.
+//  2. Otherwise, with probability WorkingSetProb draw from the current
+//     working set (uniformly), else draw fresh from the global Zipf-over-
+//     pairs distribution.
+//  3. Each request renews one working-set slot with probability ChurnProb
+//     (replacing a uniformly chosen slot with a fresh global draw).
+type FacebookParams struct {
+	Racks          int     // number of racks (paper: 100)
+	Requests       int     // trace length
+	ZipfSkew       float64 // spatial skew of the global pair distribution
+	WorkingSet     int     // number of concurrently active pairs
+	WorkingSetProb float64 // P(draw from working set) when not bursting
+	ChurnProb      float64 // P(renew one working-set slot per request)
+	BurstProb      float64 // stationary ON probability of the burst chain
+	BurstLen       float64 // expected burst length (requests)
+	Seed           uint64
+	Name           string
+}
+
+// Validate reports whether the parameters are usable.
+func (p *FacebookParams) Validate() error {
+	switch {
+	case p.Racks < 2:
+		return fmt.Errorf("trace: FacebookParams.Racks = %d, need >= 2", p.Racks)
+	case p.Requests < 0:
+		return fmt.Errorf("trace: FacebookParams.Requests = %d, need >= 0", p.Requests)
+	case p.ZipfSkew < 0:
+		return fmt.Errorf("trace: FacebookParams.ZipfSkew = %v, need >= 0", p.ZipfSkew)
+	case p.WorkingSet < 1:
+		return fmt.Errorf("trace: FacebookParams.WorkingSet = %d, need >= 1", p.WorkingSet)
+	case p.WorkingSetProb < 0 || p.WorkingSetProb > 1:
+		return fmt.Errorf("trace: FacebookParams.WorkingSetProb = %v, need in [0,1]", p.WorkingSetProb)
+	case p.ChurnProb < 0 || p.ChurnProb > 1:
+		return fmt.Errorf("trace: FacebookParams.ChurnProb = %v, need in [0,1]", p.ChurnProb)
+	case p.BurstProb < 0 || p.BurstProb >= 1:
+		return fmt.Errorf("trace: FacebookParams.BurstProb = %v, need in [0,1)", p.BurstProb)
+	case p.BurstLen < 1:
+		return fmt.Errorf("trace: FacebookParams.BurstLen = %v, need >= 1", p.BurstLen)
+	}
+	return nil
+}
+
+// FacebookStyle generates a synthetic trace with the given parameters.
+func FacebookStyle(p FacebookParams) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRand(p.Seed)
+	n := p.Racks
+	nPairs := n * (n - 1) / 2
+
+	// Global spatial distribution: Zipf over a random permutation of all
+	// pairs (so that popular pairs are spread across the fabric rather than
+	// clustered at low rack ids).
+	zipf := stats.NewZipf(nPairs, p.ZipfSkew)
+	perm := r.Perm(nPairs)
+	pairAt := func(rank int) (int, int) {
+		return pairFromIndex(perm[rank], n)
+	}
+	drawGlobal := func() (int, int) { return pairAt(zipf.Sample(r)) }
+
+	// Working set of active pairs.
+	type pair struct{ u, v int }
+	ws := make([]pair, p.WorkingSet)
+	for i := range ws {
+		u, v := drawGlobal()
+		ws[i] = pair{u, v}
+	}
+
+	burst := stats.NewBurstChain(p.BurstProb, p.BurstLen)
+	burst.Reset(r)
+
+	reqs := make([]Request, p.Requests)
+	var prev pair
+	havePrev := false
+	for i := range reqs {
+		var cur pair
+		if burst.Step(r) && havePrev {
+			cur = prev
+		} else if r.Bool(p.WorkingSetProb) {
+			cur = ws[r.Intn(len(ws))]
+		} else {
+			u, v := drawGlobal()
+			cur = pair{u, v}
+		}
+		reqs[i] = Request{Src: int32(cur.u), Dst: int32(cur.v)}
+		prev, havePrev = cur, true
+		if r.Bool(p.ChurnProb) {
+			u, v := drawGlobal()
+			ws[r.Intn(len(ws))] = pair{u, v}
+		}
+	}
+	name := p.Name
+	if name == "" {
+		name = fmt.Sprintf("facebook-style(n=%d,s=%.2f)", n, p.ZipfSkew)
+	}
+	return &Trace{Name: name, NumRacks: n, Reqs: reqs}, nil
+}
+
+// pairFromIndex maps a linear index in [0, n(n-1)/2) to the unordered pair
+// it denotes, enumerating pairs (0,1), (0,2), …, (0,n-1), (1,2), ….
+func pairFromIndex(idx, n int) (int, int) {
+	u := 0
+	rowLen := n - 1
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + idx
+}
+
+// Cluster identifies one of the paper's three Facebook workload presets.
+type Cluster int
+
+const (
+	// Database: SQL-serving cluster — strong spatial skew, pronounced
+	// temporal locality with a small working set.
+	Database Cluster = iota
+	// WebService: web servers — flatter spatial distribution, larger and
+	// faster-churning working set.
+	WebService
+	// Hadoop: batch processing — long bursty flows (heavy temporal
+	// structure) over a moderately skewed spatial distribution.
+	Hadoop
+)
+
+// String returns the preset name.
+func (c Cluster) String() string {
+	switch c {
+	case Database:
+		return "facebook-database"
+	case WebService:
+		return "facebook-webservice"
+	case Hadoop:
+		return "facebook-hadoop"
+	}
+	return fmt.Sprintf("Cluster(%d)", int(c))
+}
+
+// FacebookPreset returns the generator parameters for one of the three
+// Facebook cluster presets at the given scale. Request counts default to
+// the x-axis extents of the paper's figures (3.5e5, 4e5, 1.85e5) and are
+// overridable by the caller after construction.
+func FacebookPreset(c Cluster, racks int, seed uint64) FacebookParams {
+	p := FacebookParams{
+		Racks: racks,
+		Seed:  seed,
+		Name:  c.String(),
+	}
+	switch c {
+	case Database:
+		p.Requests = 350000
+		p.ZipfSkew = 1.25
+		p.WorkingSet = 3 * racks
+		p.WorkingSetProb = 0.75
+		p.ChurnProb = 0.002
+		p.BurstProb = 0.25
+		p.BurstLen = 12
+	case WebService:
+		p.Requests = 400000
+		p.ZipfSkew = 0.90
+		p.WorkingSet = 6 * racks
+		p.WorkingSetProb = 0.60
+		p.ChurnProb = 0.01
+		p.BurstProb = 0.15
+		p.BurstLen = 6
+	case Hadoop:
+		p.Requests = 185000
+		p.ZipfSkew = 1.05
+		p.WorkingSet = 2 * racks
+		p.WorkingSetProb = 0.70
+		p.ChurnProb = 0.004
+		p.BurstProb = 0.45
+		p.BurstLen = 40
+	default:
+		panic(fmt.Sprintf("trace: unknown cluster %d", int(c)))
+	}
+	return p
+}
+
+// MicrosoftStyle generates the paper's Microsoft workload: count i.i.d.
+// samples from a skewed synthetic rack-to-rack traffic matrix over n racks
+// (paper: 50 racks, 1.75e6 requests). The trace has spatial skew but, by
+// construction, no temporal structure.
+func MicrosoftStyle(n, count int, seed uint64) *Trace {
+	m := SkewedMatrix(n, 1.0, n/2, 8, seed)
+	t := m.SampleIID(count, seed+1)
+	t.Name = "microsoft"
+	return t
+}
+
+// Uniform generates count requests drawn uniformly at random from all rack
+// pairs: the unstructured baseline workload (worst case for demand-aware
+// reconfiguration).
+func Uniform(n, count int, seed uint64) *Trace {
+	r := stats.NewRand(seed)
+	reqs := make([]Request, count)
+	for i := range reqs {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for u == v {
+			v = r.Intn(n)
+		}
+		reqs[i] = Request{Src: int32(u), Dst: int32(v)}
+	}
+	return &Trace{Name: fmt.Sprintf("uniform(n=%d)", n), NumRacks: n, Reqs: reqs}
+}
+
+// PhaseShift generates a workload whose communication pattern changes
+// abruptly between phases: the trace is divided into `phases` equal
+// segments, each an independent skewed i.i.d. pattern (fresh SkewedMatrix).
+// Static offline matchings and no-evict schemes straddle the shifts badly;
+// adaptive online algorithms re-converge — the scenario behind the paper's
+// motivation for *dynamic* reconfiguration.
+func PhaseShift(n, count, phases int, seed uint64) (*Trace, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("trace: PhaseShift requires n >= 2")
+	}
+	if count < phases || phases < 1 {
+		return nil, fmt.Errorf("trace: PhaseShift requires count >= phases >= 1")
+	}
+	reqs := make([]Request, 0, count)
+	per := count / phases
+	for ph := 0; ph < phases; ph++ {
+		cnt := per
+		if ph == phases-1 {
+			cnt = count - per*(phases-1)
+		}
+		m := SkewedMatrix(n, 1.2, n/2, 10, seed+uint64(ph)*0x9e37)
+		part := m.SampleIID(cnt, seed+uint64(ph)*0x79b9+1)
+		reqs = append(reqs, part.Reqs...)
+	}
+	return &Trace{
+		Name:     fmt.Sprintf("phase-shift(n=%d,p=%d)", n, phases),
+		NumRacks: n,
+		Reqs:     reqs,
+	}, nil
+}
+
+// Permutation generates count requests that cycle through a fixed random
+// perfect matching of racks: the ideal workload for a reconfigurable
+// network (every rack talks to exactly one partner). n must be even.
+func Permutation(n, count int, seed uint64) *Trace {
+	if n%2 != 0 {
+		panic("trace: Permutation requires even n")
+	}
+	r := stats.NewRand(seed)
+	perm := r.Perm(n)
+	reqs := make([]Request, count)
+	for i := range reqs {
+		k := (i % (n / 2)) * 2
+		reqs[i] = Request{Src: int32(perm[k]), Dst: int32(perm[k+1])}
+	}
+	return &Trace{Name: fmt.Sprintf("permutation(n=%d)", n), NumRacks: n, Reqs: reqs}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Uniform(12, 500, 3)
+	tr.Name = "rt"
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.NumRacks != 12 || got.Len() != 500 {
+		t.Fatalf("round trip header mismatch: %+v", got)
+	}
+	for i := range tr.Reqs {
+		if got.Reqs[i] != tr.Reqs[i] {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVInfersRacks(t *testing.T) {
+	in := "src,dst\n0,5\n2,3\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRacks != 6 {
+		t.Fatalf("inferred racks = %d, want 6", tr.NumRacks)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"src,dst\n0\n",
+		"src,dst\nx,1\n",
+		"src,dst\n1,y\n",
+		"src,dst\n-1,2\n",
+		"src,dst\n3,3\n",
+		"# racks=zz\nsrc,dst\n0,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := MicrosoftStyle(10, 2000, 7)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRacks != tr.NumRacks || got.Len() != tr.Len() {
+		t.Fatal("binary round trip shape mismatch")
+	}
+	for i := range tr.Reqs {
+		if got.Reqs[i] != tr.Reqs[i] {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE1234567890123456")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	tr := Uniform(5, 100, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	tr := &Trace{Name: "empty", NumRacks: 4}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.NumRacks != 4 {
+		t.Fatal("empty trace round trip failed")
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	c := Analyze(&Trace{NumRacks: 3})
+	if c.UniquePairs != 0 || c.RepeatRatio != 0 {
+		t.Fatal("empty trace should produce zero stats")
+	}
+}
+
+func TestAnalyzePointMass(t *testing.T) {
+	reqs := make([]Request, 100)
+	for i := range reqs {
+		reqs[i] = Request{0, 1}
+	}
+	c := Analyze(&Trace{NumRacks: 2, Reqs: reqs})
+	if c.UniquePairs != 1 || c.RepeatRatio != 1 || c.PairEntropy != 0 {
+		t.Fatalf("point-mass stats wrong: %+v", c)
+	}
+	if c.Top10Share != 1 {
+		t.Fatalf("Top10Share = %v, want 1", c.Top10Share)
+	}
+}

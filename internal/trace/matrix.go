@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/stats"
+)
+
+// TrafficMatrix is a symmetric non-negative rack-to-rack demand matrix.
+// Diagonal entries are always zero.
+type TrafficMatrix struct {
+	n int
+	w []float64
+}
+
+// NewTrafficMatrix returns an all-zero n×n matrix. It panics if n < 2.
+func NewTrafficMatrix(n int) *TrafficMatrix {
+	if n < 2 {
+		panic("trace: NewTrafficMatrix requires n >= 2")
+	}
+	return &TrafficMatrix{n: n, w: make([]float64, n*n)}
+}
+
+// N returns the rack count.
+func (m *TrafficMatrix) N() int { return m.n }
+
+// Set assigns weight w to the unordered pair {u, v} (both directions).
+// It panics on self-pairs, out-of-range indices, or negative weights.
+func (m *TrafficMatrix) Set(u, v int, w float64) {
+	if u == v {
+		panic("trace: TrafficMatrix self-pair")
+	}
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		panic(fmt.Sprintf("trace: TrafficMatrix index {%d,%d} out of range", u, v))
+	}
+	if w < 0 {
+		panic("trace: TrafficMatrix negative weight")
+	}
+	m.w[u*m.n+v] = w
+	m.w[v*m.n+u] = w
+}
+
+// At returns the weight of pair {u, v}.
+func (m *TrafficMatrix) At(u, v int) float64 { return m.w[u*m.n+v] }
+
+// Total returns the sum over unordered pairs.
+func (m *TrafficMatrix) Total() float64 {
+	var s float64
+	for u := 0; u < m.n; u++ {
+		for v := u + 1; v < m.n; v++ {
+			s += m.w[u*m.n+v]
+		}
+	}
+	return s
+}
+
+// PairWeights flattens the upper triangle into (pairs, weights) slices,
+// ordered lexicographically.
+func (m *TrafficMatrix) PairWeights() ([]PairKey, []float64) {
+	pairs := make([]PairKey, 0, m.n*(m.n-1)/2)
+	weights := make([]float64, 0, cap(pairs))
+	for u := 0; u < m.n; u++ {
+		for v := u + 1; v < m.n; v++ {
+			pairs = append(pairs, MakePairKey(u, v))
+			weights = append(weights, m.w[u*m.n+v])
+		}
+	}
+	return pairs, weights
+}
+
+// Gini returns the Gini coefficient of the pair-weight distribution, the
+// spatial-skew statistic referenced in the paper's workload discussion.
+func (m *TrafficMatrix) Gini() float64 {
+	_, w := m.PairWeights()
+	return stats.Gini(w)
+}
+
+// SkewedMatrix synthesizes a skewed rack-to-rack demand matrix in the style
+// of the Microsoft/ProjecToR distribution used by the paper: rack
+// popularities are log-normal (heavy tail), pair weight is the product of
+// endpoint popularities, and nHot randomly chosen "elephant" pairs receive a
+// strong multiplicative boost. The result has high spatial skew and no
+// temporal structure whatsoever (temporal structure only arises from how a
+// trace is sampled; see SampleIID).
+func SkewedMatrix(n int, sigma float64, nHot int, boost float64, seed uint64) *TrafficMatrix {
+	if sigma < 0 || nHot < 0 || boost < 1 {
+		panic("trace: SkewedMatrix invalid parameters")
+	}
+	r := stats.NewRand(seed)
+	pop := make([]float64, n)
+	for i := range pop {
+		pop[i] = math.Exp(sigma * r.NormFloat64())
+	}
+	m := NewTrafficMatrix(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			m.Set(u, v, pop[u]*pop[v])
+		}
+	}
+	for h := 0; h < nHot; h++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for u == v {
+			v = r.Intn(n)
+		}
+		m.Set(u, v, m.At(u, v)*boost)
+	}
+	return m
+}
+
+// SampleIID draws count requests i.i.d. from the matrix's pair distribution
+// — exactly the construction the paper applies to the Microsoft data set
+// ("we sample from this distribution i.i.d.", §3.1).
+func (m *TrafficMatrix) SampleIID(count int, seed uint64) *Trace {
+	pairs, weights := m.PairWeights()
+	alias := stats.NewAlias(weights)
+	r := stats.NewRand(seed)
+	reqs := make([]Request, count)
+	for i := range reqs {
+		u, v := pairs[alias.Sample(r)].Endpoints()
+		reqs[i] = Request{Src: int32(u), Dst: int32(v)}
+	}
+	return &Trace{
+		Name:     fmt.Sprintf("iid-matrix(n=%d)", m.n),
+		NumRacks: m.n,
+		Reqs:     reqs,
+	}
+}

@@ -1,10 +1,10 @@
 package obm
 
 // Benchmark harness: one benchmark per sub-figure of the paper's evaluation
-// (Figures 1–4, each a/b/c) plus ablation benchmarks for the design choices
-// called out in DESIGN.md. Figure benchmarks replay a scaled-down workload
-// per iteration and report the quantities the paper plots as custom
-// metrics:
+// (Figures 1–4, each a/b/c) plus ablation benchmarks for the reproduction's
+// design choices (cache policy, lazy vs eager removal, α, predictions; see
+// README.md). Figure benchmarks replay a scaled-down workload per iteration
+// and report the quantities the paper plots as custom metrics:
 //
 //	routing_cost   cumulative routing cost of R-BMA at the best b
 //	vs_oblivious   R-BMA routing cost / oblivious routing cost (a-figures)
@@ -152,7 +152,7 @@ func BenchmarkServeBMA(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (design choices in DESIGN.md §3) ---
+// --- Ablation benchmarks (the reproduction's design choices) ---
 
 // BenchmarkAblationCachePolicy swaps the paging algorithm inside R-BMA:
 // randomized marking (the paper's choice) vs LRU, FIFO and random eviction.
@@ -218,7 +218,7 @@ func BenchmarkAblationLazyVsEager(b *testing.B) {
 }
 
 // BenchmarkAblationAlpha sweeps the reconfiguration cost (unstated in the
-// paper; DESIGN.md documents the default of 30).
+// paper; this reproduction defaults to 30, see figures.DefaultAlpha).
 func BenchmarkAblationAlpha(b *testing.B) {
 	top := graph.FatTreeRacks(50)
 	p := trace.FacebookPreset(trace.Database, 50, 3)

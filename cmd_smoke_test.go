@@ -1,0 +1,121 @@
+package obm
+
+// Smoke tests for the runnable entry points: every binary under cmd/ and
+// every example under examples/ must build, run with tiny inputs, exit
+// zero, and print well-formed output. These catch the classic failure mode
+// of library-only refactors — internal packages pass their tests while the
+// binaries no longer compile or crash at startup.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles a main package into t's temp dir and returns the
+// binary path.
+func buildBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./%s failed: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// run executes the binary and returns its stdout+stderr, failing the test
+// on a non-zero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s failed: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCmdBmatchSmoke(t *testing.T) {
+	bin := buildBinary(t, "cmd/bmatch")
+	for _, alg := range []string{"r-bma", "bma", "oblivious", "so-bma"} {
+		out := run(t, bin, "-alg", alg, "-racks", "12", "-requests", "2000", "-b", "3")
+		for _, want := range []string{"trace:", "algorithm:", "routing cost:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("-alg %s: output missing %q:\n%s", alg, want, out)
+			}
+		}
+	}
+}
+
+func TestCmdTracegenSmoke(t *testing.T) {
+	bin := buildBinary(t, "cmd/tracegen")
+	csv := filepath.Join(t.TempDir(), "trace.csv")
+	out := run(t, bin, "-workload", "facebook-database", "-racks", "10", "-requests", "500", "-out", csv)
+	if !strings.Contains(out, "500") {
+		t.Errorf("tracegen summary missing request count:\n%s", out)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 500 {
+		t.Fatalf("trace CSV has %d lines, want >= 500", len(lines))
+	}
+	// The generated trace must round-trip through the analyzer.
+	out = run(t, bin, "-analyze", csv)
+	if !strings.Contains(out, "requests") {
+		t.Errorf("analyze output malformed:\n%s", out)
+	}
+}
+
+func TestCmdExperimentsSmoke(t *testing.T) {
+	bin := buildBinary(t, "cmd/experiments")
+	outdir := t.TempDir()
+	out := run(t, bin, "-figure", "fig1a", "-scale", "0.01", "-reps", "1", "-outdir", outdir, "-chart=false")
+	if !strings.Contains(out, "fig1a") {
+		t.Errorf("experiments output missing figure id:\n%s", out)
+	}
+	entries, err := filepath.Glob(filepath.Join(outdir, "*"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("experiments wrote no output files in %s (err=%v)", outdir, err)
+	}
+	for _, f := range entries {
+		info, err := os.Stat(f)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("output file %s is empty or unreadable (err=%v)", f, err)
+		}
+	}
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			bin := buildBinary(t, dir)
+			out := run(t, bin)
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Fatal("example produced no output")
+			}
+			if strings.Contains(strings.ToLower(out), "panic") {
+				t.Fatalf("example output mentions a panic:\n%s", out)
+			}
+		})
+	}
+}

@@ -5,7 +5,23 @@
 // the datacenter-topology and workload substrates, and a benchmark harness
 // regenerating every figure of the paper's evaluation.
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The library lives under
-// internal/; the runnable entry points are cmd/ and examples/.
+// See README.md for a guided tour, the layer map, and how to regenerate
+// the figures. The library lives under internal/; the runnable entry
+// points are cmd/ and examples/.
+//
+// Two cross-cutting design decisions shape the request hot path:
+//
+// Dense pair index. The pair universe — n·(n−1)/2 unordered rack pairs —
+// is known up front, so per-pair state lives in flat arrays indexed by
+// trace.PairID (a row-major int32 index) rather than hash maps:
+// trace.Compiled pre-resolves each request once, the paging caches use
+// slot tables (paging.DeclareUniverse, paging.MarkingBank), and
+// matching.BMatching, R-BMA and BMA keep counters, incidence and
+// membership in arrays and bitsets.
+//
+// Seed reproducibility. Every randomized component draws from a stats.Rand
+// seeded explicitly; identical seeds give bit-for-bit identical runs,
+// independent of Go version, map iteration order, or internal
+// representation. The golden suite in internal/core pins the algorithms'
+// exact cost curves across trace families.
 package obm

@@ -26,13 +26,18 @@ import (
 //     evicted edges' accounting: on eviction a pair's counters reset, so it
 //     must re-earn its place. This gives the O(b) competitive behaviour of
 //     the original (each matched edge can deflect at most b candidates).
+//
+// The rent and defense counters are flat []float64 tables indexed by
+// trace.PairID (absent ≡ 0, matching the original map semantics), so the
+// per-request work is array reads plus the deliberate Θ(b) incidence scan.
 type BMA struct {
 	n, b  int
 	model CostModel
 
+	idx     *trace.PairIndex
 	m       *matching.BMatching
-	rent    map[trace.PairKey]float64 // accumulated routing cost while unmatched
-	defense map[trace.PairKey]float64 // defense counter of matched edges
+	rent    []float64 // by PairID: accumulated routing cost while unmatched
+	defense []float64 // by PairID: defense counter of matched edges
 }
 
 // NewBMA constructs the deterministic baseline.
@@ -49,7 +54,7 @@ func NewBMA(n, b int, model CostModel) (*BMA, error) {
 	if model.Metric.N() < n {
 		return nil, fmt.Errorf("core: metric covers %d racks, need %d", model.Metric.N(), n)
 	}
-	a := &BMA{n: n, b: b, model: model}
+	a := &BMA{n: n, b: b, model: model, idx: trace.SharedPairIndex(n)}
 	a.Reset()
 	return a, nil
 }
@@ -71,85 +76,105 @@ func (a *BMA) bmatching() *matching.BMatching { return a.m }
 // Reset implements Algorithm.
 func (a *BMA) Reset() {
 	a.m = matching.NewBMatching(a.n, a.b)
-	a.rent = make(map[trace.PairKey]float64)
-	a.defense = make(map[trace.PairKey]float64)
+	if a.rent == nil {
+		np := a.idx.NumPairs()
+		a.rent = make([]float64, np)
+		a.defense = make([]float64, np)
+	} else {
+		clear(a.rent)
+		clear(a.defense)
+	}
 }
 
 // Serve implements Algorithm.
 func (a *BMA) Serve(u, v int) Step {
-	k := trace.MakePairKey(u, v)
+	if u > v {
+		u, v = v, u
+	}
+	id := a.idx.ID(u, v)
+	return a.serve(id, u, v, a.model.Metric.Dist(u, v))
+}
+
+// ServeCompiled implements CompiledServer.
+func (a *BMA) ServeCompiled(req trace.CompiledReq) Step {
+	return a.serve(req.ID, int(req.U), int(req.V), int(req.Dist))
+}
+
+// serve processes the request for pair id = {u, v} (u < v) at static
+// distance dist.
+func (a *BMA) serve(id trace.PairID, u, v, dist int) Step {
 	var step Step
-	if a.m.Has(k) {
+	if a.m.HasID(id) {
 		step.RoutingCost = 1
 		// A matched edge that keeps being used strengthens its defense,
 		// up to one reconfiguration's worth.
-		if a.defense[k] < a.model.Alpha {
-			a.defense[k]++
+		if a.defense[id] < a.model.Alpha {
+			a.defense[id]++
 		}
 		return step
 	}
-	le := a.model.RouteCost(k, false)
+	le := float64(dist)
 	step.RoutingCost = le
-	a.rent[k] += le
+	a.rent[id] += le
 	// The original BMA evaluates the insertion condition on every request
 	// to an unmatched pair, which requires finding the weakest incident
 	// matching edge at both endpoints — a Θ(b) scan per request. This scan
 	// is the reason BMA's running time grows with b in the paper's
 	// Figures 1b–4b, so it is reproduced faithfully here rather than
 	// short-circuited behind the rent threshold.
-	victims, ok := a.findVictims(k)
-	if !ok || a.rent[k] < a.model.Alpha {
+	victims, nv, ok := a.findVictims(id, u, v)
+	if !ok || a.rent[id] < a.model.Alpha {
 		return step
 	}
-	for _, q := range victims {
-		if err := a.m.Remove(q); err != nil {
-			panic(fmt.Sprintf("core: BMA removing %v: %v", q, err))
+	for _, q := range victims[:nv] {
+		if err := a.m.Remove(a.idx.Key(q)); err != nil {
+			panic(fmt.Sprintf("core: BMA removing %v: %v", a.idx.Key(q), err))
 		}
-		delete(a.defense, q)
+		a.defense[q] = 0
 		a.rent[q] = 0
 		step.Removals++
 	}
+	k := a.idx.Key(id)
 	if err := a.m.Add(k); err != nil {
 		panic(fmt.Sprintf("core: BMA adding %v: %v", k, err))
 	}
 	step.Adds++
-	a.defense[k] = a.model.Alpha
-	a.rent[k] = 0
+	a.defense[id] = a.model.Alpha
+	a.rent[id] = 0
 	return step
 }
 
-// findVictims determines whether candidate k can be inserted, returning the
-// matching edges that must be evicted first (at most one per saturated
-// endpoint). Insertion is refused if a saturated endpoint's weakest
-// incident edge defends with a counter at least as large as the
+// findVictims determines whether candidate id = {u, v} can be inserted,
+// returning the matching edges that must be evicted first (at most one per
+// saturated endpoint). Insertion is refused if a saturated endpoint's
+// weakest incident edge defends with a counter at least as large as the
 // candidate's rent. The scan over incident edges is deliberately the
-// original's Θ(b) per attempt.
-func (a *BMA) findVictims(k trace.PairKey) ([]trace.PairKey, bool) {
-	u, v := k.Endpoints()
-	var victims []trace.PairKey
+// original's Θ(b) per attempt; the victims ride back in a fixed-size array
+// so the hot path does not allocate.
+func (a *BMA) findVictims(id trace.PairID, u, v int) (victims [2]trace.PairID, n int, ok bool) {
 	for _, w := range [2]int{u, v} {
 		if a.m.Free(w) > 0 {
 			continue
 		}
-		var weakest trace.PairKey
+		weakest := trace.NoPair
 		weakestDef := -1.0
-		a.m.ForEachIncident(w, func(q trace.PairKey) bool {
-			d := a.defense[q]
-			// Tie-break on the pair key for deterministic runs (the
-			// incidence set iterates in map order).
-			if weakestDef < 0 || d < weakestDef || (d == weakestDef && q < weakest) {
-				weakest, weakestDef = q, d
+		for _, q := range a.m.IncidentView(w) {
+			qid := a.idx.IDOfKey(q)
+			d := a.defense[qid]
+			// Tie-break on the pair id (≡ pair key order) for
+			// deterministic runs regardless of incidence order.
+			if weakestDef < 0 || d < weakestDef || (d == weakestDef && qid < weakest) {
+				weakest, weakestDef = qid, d
 			}
-			return true
-		})
-		if a.rent[k] <= weakestDef {
-			return nil, false
 		}
-		victims = append(victims, weakest)
+		if a.rent[id] <= weakestDef {
+			return victims, 0, false
+		}
+		victims[n] = weakest
+		n++
 	}
 	// The two victims could coincide only if they were the same pair
 	// incident to both u and v, i.e. the pair {u,v} itself — impossible
-	// since k is unmatched. A victim incident to both endpoints cannot
-	// occur for distinct pairs.
-	return victims, true
+	// since the candidate is unmatched.
+	return victims, n, true
 }

@@ -31,9 +31,11 @@ func NewClairvoyantRBMA(tr *trace.Trace, b int, model CostModel) (*RBMA, error) 
 	// Swap in MIN caches after construction. Note that Reset would restore
 	// marking caches; a clairvoyant instance is single-use by design (its
 	// caches must be replayed from the start of their sequences anyway).
-	for v := range r.caches {
-		r.caches[v] = paging.NewMIN(b, perNode[v])
+	caches := make([]paging.Cache, tr.NumRacks)
+	for v := range caches {
+		caches[v] = paging.NewMIN(b, perNode[v])
 	}
+	r.setCaches(caches)
 	r.name = "r-bma[clairvoyant]"
 	return r, nil
 }
@@ -53,16 +55,19 @@ func NewPredictiveRBMA(tr *trace.Trace, b int, model CostModel, sigma float64, s
 		return nil, err
 	}
 	master := seed
-	for v := range r.caches {
+	caches := make([]paging.Cache, tr.NumRacks)
+	for v := range caches {
 		master = master*0x9e3779b97f4a7c15 + uint64(v) + 1
-		r.caches[v] = paging.NewPredictive(b, perNode[v], sigma, master)
+		caches[v] = paging.NewPredictive(b, perNode[v], sigma, master)
 	}
+	r.setCaches(caches)
 	r.name = fmt.Sprintf("r-bma[pred σ=%g]", sigma)
 	return r, nil
 }
 
 // forwardedSequences replays the k_e-forwarding of the uniform reduction to
-// extract each node's paging request sequence.
+// extract each node's paging request sequence. Items are uint64(PairID) —
+// the encoding RBMA's substituted-cache path feeds its caches.
 func forwardedSequences(tr *trace.Trace, model CostModel) ([][]uint64, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -73,20 +78,24 @@ func forwardedSequences(tr *trace.Trace, model CostModel) ([][]uint64, error) {
 	if model.Metric.N() < tr.NumRacks {
 		return nil, fmt.Errorf("core: metric covers %d racks, trace needs %d", model.Metric.N(), tr.NumRacks)
 	}
+	idx := trace.SharedPairIndex(tr.NumRacks)
 	perNode := make([][]uint64, tr.NumRacks)
-	counter := make(map[trace.PairKey]int)
+	counter := make([]int32, idx.NumPairs())
 	for _, req := range tr.Reqs {
-		k := req.Key()
-		u, v := k.Endpoints()
+		u, v := int(req.Src), int(req.Dst)
+		if u > v {
+			u, v = v, u
+		}
+		id := idx.ID(u, v)
 		le := float64(model.Metric.Dist(u, v))
-		ke := int(math.Ceil(model.Alpha / le))
-		counter[k]++
-		if counter[k] < ke {
+		ke := int32(math.Ceil(model.Alpha / le))
+		counter[id]++
+		if counter[id] < ke {
 			continue
 		}
-		counter[k] = 0
-		perNode[u] = append(perNode[u], uint64(k))
-		perNode[v] = append(perNode[v], uint64(k))
+		counter[id] = 0
+		perNode[u] = append(perNode[u], uint64(id))
+		perNode[v] = append(perNode[v], uint64(id))
 	}
 	return perNode, nil
 }

@@ -359,7 +359,7 @@ func TestStaticRespectsDegreeCap(t *testing.T) {
 			t.Fatal(err)
 		}
 		deg := make([]int, 10)
-		for k := range s.edges {
+		for _, k := range s.Edges() {
 			u, v := k.Endpoints()
 			deg[u]++
 			deg[v]++

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"obm/internal/graph"
+	"obm/internal/paging"
+	"obm/internal/trace"
+)
+
+// The golden equivalence suite pins RBMA and BMA to the exact cost curves of
+// the original (pre-dense-refactor) map-backed implementations. Any change
+// to the request hot path must keep these bit-for-bit: same routing cost,
+// same reconfiguration count, same matching, same forwarded-request count,
+// for the same seeds, across trace families with different spatial and
+// temporal structure.
+//
+// Regenerate the table with:
+//
+//	OBM_PRINT_GOLDEN=1 go test ./internal/core -run TestGolden -v
+//
+// and paste the printed literal — but only when a cost-semantics change is
+// intended and called out in the commit message.
+
+type goldenPoint struct {
+	x        int
+	routing  float64
+	reconfig float64
+}
+
+type goldenRun struct {
+	trace   string
+	alg     string
+	seed    uint64
+	points  [4]goldenPoint
+	size    int // final matching size
+	forward int // forwarded requests (RBMA only, else 0)
+}
+
+const goldenAlpha = 30
+
+func goldenTraces(t testing.TB) map[string]*trace.Trace {
+	t.Helper()
+	fb, err := trace.FacebookStyle(trace.FacebookPreset(trace.Database, 40, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Reqs = fb.Reqs[:20000]
+	ps, err := trace.PhaseShift(30, 16000, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*trace.Trace{
+		"facebook":   fb,
+		"microsoft":  trace.MicrosoftStyle(30, 20000, 3),
+		"uniform":    trace.Uniform(30, 16000, 5),
+		"phaseshift": ps,
+	}
+}
+
+func goldenAlg(t testing.TB, name string, n int, model CostModel, seed uint64) Algorithm {
+	t.Helper()
+	var (
+		alg Algorithm
+		err error
+	)
+	switch name {
+	case "rbma":
+		alg, err = NewRBMA(n, 6, model, seed)
+	case "rbma-eager":
+		alg, err = NewRBMA(n, 6, model, seed, WithEagerRemoval())
+	case "rbma-lru":
+		alg, err = NewRBMA(n, 6, model, seed, WithCacheFactory(paging.NewLRUFactory, "lru"))
+	case "bma":
+		alg, err = NewBMA(n, 6, model)
+	default:
+		t.Fatalf("unknown golden algorithm %q", name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}
+
+// replayGolden serves the whole trace, sampling cumulative costs at the four
+// quartile checkpoints.
+func replayGolden(alg Algorithm, tr *trace.Trace) ([4]goldenPoint, int) {
+	var pts [4]goldenPoint
+	var routing, reconfig float64
+	total := tr.Len()
+	pi := 0
+	for i, req := range tr.Reqs {
+		st := alg.Serve(int(req.Src), int(req.Dst))
+		routing += st.RoutingCost
+		reconfig += st.ReconfigCost(goldenAlpha)
+		if (i+1)*4 >= (pi+1)*total {
+			pts[pi] = goldenPoint{x: i + 1, routing: routing, reconfig: reconfig}
+			pi++
+		}
+	}
+	return pts, alg.MatchingSize()
+}
+
+// goldenCases enumerates the (trace, algorithm, seed) combinations pinned by
+// the suite; goldenTable holds one entry per case, in this order.
+func goldenCases() []goldenRun {
+	var cases []goldenRun
+	for _, tr := range []string{"facebook", "microsoft", "uniform", "phaseshift"} {
+		for _, alg := range []string{"rbma", "rbma-eager", "rbma-lru", "bma"} {
+			seeds := []uint64{1, 2}
+			if alg == "bma" {
+				seeds = []uint64{1} // deterministic: the seed is unused
+			}
+			for _, s := range seeds {
+				cases = append(cases, goldenRun{trace: tr, alg: alg, seed: s})
+			}
+		}
+	}
+	return cases
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	traces := goldenTraces(t)
+	printMode := os.Getenv("OBM_PRINT_GOLDEN") != ""
+	cases := goldenCases()
+	if !printMode {
+		if len(goldenTable) != len(cases) {
+			t.Fatalf("golden table has %d entries, want %d — regenerate with OBM_PRINT_GOLDEN=1", len(goldenTable), len(cases))
+		}
+		cases = goldenTable
+	}
+	for _, want := range cases {
+		name := fmt.Sprintf("%s/%s/seed=%d", want.trace, want.alg, want.seed)
+		t.Run(name, func(t *testing.T) {
+			tr := traces[want.trace]
+			if tr == nil {
+				t.Fatalf("unknown golden trace %q", want.trace)
+			}
+			model := CostModel{Metric: graph.FatTreeRacks(tr.NumRacks).Metric(), Alpha: goldenAlpha}
+			alg := goldenAlg(t, want.alg, tr.NumRacks, model, want.seed)
+			pts, size := replayGolden(alg, tr)
+			forward := 0
+			if r, ok := alg.(*RBMA); ok {
+				forward = r.ForwardedRequests
+			}
+			if printMode {
+				fmt.Printf("\t{trace: %q, alg: %q, seed: %d, points: [4]goldenPoint{\n", want.trace, want.alg, want.seed)
+				for _, p := range pts {
+					fmt.Printf("\t\t{x: %d, routing: %v, reconfig: %v},\n", p.x, p.routing, p.reconfig)
+				}
+				fmt.Printf("\t}, size: %d, forward: %d},\n", size, forward)
+				return
+			}
+			if size != want.size {
+				t.Errorf("final matching size = %d, golden %d", size, want.size)
+			}
+			if forward != want.forward {
+				t.Errorf("forwarded requests = %d, golden %d", forward, want.forward)
+			}
+			for i, p := range pts {
+				if p != want.points[i] {
+					t.Errorf("checkpoint %d = %+v, golden %+v", i, p, want.points[i])
+				}
+			}
+			if err := CheckDegreeInvariant(alg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// goldenTable holds the exact curves of the seed (map-backed)
+// implementations, captured at commit dd53d82 with the regeneration command
+// above. Placeholder values are overwritten by the capture below.
+var goldenTable = []goldenRun{
+	{trace: "facebook", alg: "rbma", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 7038, reconfig: 1890},
+		{x: 10000, routing: 12776, reconfig: 2550},
+		{x: 15000, routing: 18474, reconfig: 3540},
+		{x: 20000, routing: 24069, reconfig: 4410},
+	}, size: 79, forward: 1943},
+	{trace: "facebook", alg: "rbma", seed: 2, points: [4]goldenPoint{
+		{x: 5000, routing: 7060, reconfig: 2070},
+		{x: 10000, routing: 12780, reconfig: 2610},
+		{x: 15000, routing: 18459, reconfig: 3720},
+		{x: 20000, routing: 24024, reconfig: 4350},
+	}, size: 79, forward: 1943},
+	{trace: "facebook", alg: "rbma-eager", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 7038, reconfig: 1890},
+		{x: 10000, routing: 12776, reconfig: 2550},
+		{x: 15000, routing: 18474, reconfig: 3540},
+		{x: 20000, routing: 24069, reconfig: 4410},
+	}, size: 79, forward: 1943},
+	{trace: "facebook", alg: "rbma-eager", seed: 2, points: [4]goldenPoint{
+		{x: 5000, routing: 7060, reconfig: 2070},
+		{x: 10000, routing: 12780, reconfig: 2610},
+		{x: 15000, routing: 18459, reconfig: 3720},
+		{x: 20000, routing: 24024, reconfig: 4350},
+	}, size: 79, forward: 1943},
+	{trace: "facebook", alg: "rbma-lru", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 7044, reconfig: 1950},
+		{x: 10000, routing: 12758, reconfig: 2550},
+		{x: 15000, routing: 18383, reconfig: 3240},
+		{x: 20000, routing: 23934, reconfig: 3810},
+	}, size: 79, forward: 1943},
+	{trace: "facebook", alg: "rbma-lru", seed: 2, points: [4]goldenPoint{
+		{x: 5000, routing: 7044, reconfig: 1950},
+		{x: 10000, routing: 12758, reconfig: 2550},
+		{x: 15000, routing: 18383, reconfig: 3240},
+		{x: 20000, routing: 23934, reconfig: 3810},
+	}, size: 79, forward: 1943},
+	{trace: "facebook", alg: "bma", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 7034, reconfig: 1770},
+		{x: 10000, routing: 12793, reconfig: 2430},
+		{x: 15000, routing: 18457, reconfig: 3030},
+		{x: 20000, routing: 24090, reconfig: 3720},
+	}, size: 80, forward: 0},
+	{trace: "microsoft", alg: "rbma", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 13213, reconfig: 17070},
+		{x: 10000, routing: 25634, reconfig: 39570},
+		{x: 15000, routing: 38486, reconfig: 65700},
+		{x: 20000, routing: 51293, reconfig: 91710},
+	}, size: 55, forward: 2225},
+	{trace: "microsoft", alg: "rbma", seed: 2, points: [4]goldenPoint{
+		{x: 5000, routing: 13220, reconfig: 17550},
+		{x: 10000, routing: 25766, reconfig: 40710},
+		{x: 15000, routing: 38564, reconfig: 66690},
+		{x: 20000, routing: 51334, reconfig: 92280},
+	}, size: 56, forward: 2225},
+	{trace: "microsoft", alg: "rbma-eager", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 13434, reconfig: 17910},
+		{x: 10000, routing: 26297, reconfig: 41550},
+		{x: 15000, routing: 39514, reconfig: 68400},
+		{x: 20000, routing: 52676, reconfig: 95190},
+	}, size: 41, forward: 2225},
+	{trace: "microsoft", alg: "rbma-eager", seed: 2, points: [4]goldenPoint{
+		{x: 5000, routing: 13412, reconfig: 18240},
+		{x: 10000, routing: 26409, reconfig: 42690},
+		{x: 15000, routing: 39626, reconfig: 69690},
+		{x: 20000, routing: 52741, reconfig: 96030},
+	}, size: 43, forward: 2225},
+	{trace: "microsoft", alg: "rbma-lru", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 13096, reconfig: 17040},
+		{x: 10000, routing: 25273, reconfig: 39120},
+		{x: 15000, routing: 37908, reconfig: 64650},
+		{x: 20000, routing: 50526, reconfig: 89970},
+	}, size: 53, forward: 2225},
+	{trace: "microsoft", alg: "rbma-lru", seed: 2, points: [4]goldenPoint{
+		{x: 5000, routing: 13096, reconfig: 17040},
+		{x: 10000, routing: 25273, reconfig: 39120},
+		{x: 15000, routing: 37908, reconfig: 64650},
+		{x: 20000, routing: 50526, reconfig: 89970},
+	}, size: 53, forward: 2225},
+	{trace: "microsoft", alg: "bma", seed: 1, points: [4]goldenPoint{
+		{x: 5000, routing: 14515, reconfig: 16320},
+		{x: 10000, routing: 28817, reconfig: 38340},
+		{x: 15000, routing: 43080, reconfig: 61080},
+		{x: 20000, routing: 57500, reconfig: 84630},
+	}, size: 59, forward: 0},
+	{trace: "uniform", alg: "rbma", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 14112, reconfig: 14850},
+		{x: 8000, routing: 27369, reconfig: 43410},
+		{x: 12000, routing: 40540, reconfig: 71250},
+		{x: 16000, routing: 53663, reconfig: 99570},
+	}, size: 79, forward: 1704},
+	{trace: "uniform", alg: "rbma", seed: 2, points: [4]goldenPoint{
+		{x: 4000, routing: 14118, reconfig: 14970},
+		{x: 8000, routing: 27343, reconfig: 43440},
+		{x: 12000, routing: 40462, reconfig: 71430},
+		{x: 16000, routing: 53590, reconfig: 99660},
+	}, size: 78, forward: 1704},
+	{trace: "uniform", alg: "rbma-eager", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 14241, reconfig: 15360},
+		{x: 8000, routing: 27860, reconfig: 44010},
+		{x: 12000, routing: 41351, reconfig: 72090},
+		{x: 16000, routing: 54868, reconfig: 100290},
+	}, size: 65, forward: 1704},
+	{trace: "uniform", alg: "rbma-eager", seed: 2, points: [4]goldenPoint{
+		{x: 4000, routing: 14298, reconfig: 15420},
+		{x: 8000, routing: 27925, reconfig: 43920},
+		{x: 12000, routing: 41427, reconfig: 72030},
+		{x: 16000, routing: 55001, reconfig: 100350},
+	}, size: 61, forward: 1704},
+	{trace: "uniform", alg: "rbma-lru", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 14133, reconfig: 14970},
+		{x: 8000, routing: 27312, reconfig: 43410},
+		{x: 12000, routing: 40434, reconfig: 71340},
+		{x: 16000, routing: 53527, reconfig: 99510},
+	}, size: 81, forward: 1704},
+	{trace: "uniform", alg: "rbma-lru", seed: 2, points: [4]goldenPoint{
+		{x: 4000, routing: 14133, reconfig: 14970},
+		{x: 8000, routing: 27312, reconfig: 43410},
+		{x: 12000, routing: 40434, reconfig: 71340},
+		{x: 16000, routing: 53527, reconfig: 99510},
+	}, size: 81, forward: 1704},
+	{trace: "uniform", alg: "bma", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 14153, reconfig: 14340},
+		{x: 8000, routing: 27497, reconfig: 38310},
+		{x: 12000, routing: 40935, reconfig: 62250},
+		{x: 16000, routing: 54421, reconfig: 85890},
+	}, size: 75, forward: 0},
+	{trace: "phaseshift", alg: "rbma", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 6345, reconfig: 1770},
+		{x: 8000, routing: 16448, reconfig: 17760},
+		{x: 12000, routing: 27425, reconfig: 39120},
+		{x: 16000, routing: 37948, reconfig: 59640},
+	}, size: 60, forward: 1704},
+	{trace: "phaseshift", alg: "rbma", seed: 2, points: [4]goldenPoint{
+		{x: 4000, routing: 6393, reconfig: 2070},
+		{x: 8000, routing: 16502, reconfig: 17640},
+		{x: 12000, routing: 27451, reconfig: 38970},
+		{x: 16000, routing: 37964, reconfig: 59310},
+	}, size: 63, forward: 1704},
+	{trace: "phaseshift", alg: "rbma-eager", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 6348, reconfig: 1770},
+		{x: 8000, routing: 16707, reconfig: 18810},
+		{x: 12000, routing: 27950, reconfig: 40770},
+		{x: 16000, routing: 38712, reconfig: 61800},
+	}, size: 40, forward: 1704},
+	{trace: "phaseshift", alg: "rbma-eager", seed: 2, points: [4]goldenPoint{
+		{x: 4000, routing: 6393, reconfig: 2100},
+		{x: 8000, routing: 16758, reconfig: 18600},
+		{x: 12000, routing: 27984, reconfig: 40770},
+		{x: 16000, routing: 38717, reconfig: 61920},
+	}, size: 36, forward: 1704},
+	{trace: "phaseshift", alg: "rbma-lru", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 6352, reconfig: 2040},
+		{x: 8000, routing: 16312, reconfig: 17700},
+		{x: 12000, routing: 27158, reconfig: 39150},
+		{x: 16000, routing: 37535, reconfig: 59280},
+	}, size: 60, forward: 1704},
+	{trace: "phaseshift", alg: "rbma-lru", seed: 2, points: [4]goldenPoint{
+		{x: 4000, routing: 6352, reconfig: 2040},
+		{x: 8000, routing: 16312, reconfig: 17700},
+		{x: 12000, routing: 27158, reconfig: 39150},
+		{x: 16000, routing: 37535, reconfig: 59280},
+	}, size: 60, forward: 1704},
+	{trace: "phaseshift", alg: "bma", seed: 1, points: [4]goldenPoint{
+		{x: 4000, routing: 6471, reconfig: 1950},
+		{x: 8000, routing: 18289, reconfig: 17610},
+		{x: 12000, routing: 30239, reconfig: 36180},
+		{x: 16000, routing: 41824, reconfig: 54540},
+	}, size: 64, forward: 0},
+}

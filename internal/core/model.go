@@ -86,6 +86,15 @@ type Algorithm interface {
 	Reset()
 }
 
+// CompiledServer is implemented by algorithms with a dense fast path: given
+// a pre-resolved request (PairID, endpoints, static distance) they can skip
+// per-request canonicalization and metric lookups. ServeCompiled must be
+// semantically identical to Serve(req.U, req.V); the simulation harness
+// uses it when replaying a trace.Compiled.
+type CompiledServer interface {
+	ServeCompiled(req trace.CompiledReq) Step
+}
+
 // degreeCapped is the invariant-check hook shared by implementations that
 // expose their BMatching for tests.
 type degreeCapped interface {

@@ -33,6 +33,11 @@ func (o *Oblivious) Serve(u, v int) Step {
 	return Step{RoutingCost: o.model.RouteCost(trace.MakePairKey(u, v), false)}
 }
 
+// ServeCompiled implements CompiledServer.
+func (o *Oblivious) ServeCompiled(req trace.CompiledReq) Step {
+	return Step{RoutingCost: float64(req.Dist)}
+}
+
 // Matched implements Algorithm.
 func (o *Oblivious) Matched(u, v int) bool { return false }
 
@@ -49,7 +54,9 @@ type Static struct {
 	name  string
 	b     int
 	model CostModel
-	edges map[trace.PairKey]struct{}
+	idx   *trace.PairIndex
+	edges []uint64 // bitset by PairID
+	size  int
 	n     int
 }
 
@@ -79,17 +86,25 @@ func NewStaticFromTrace(tr *trace.Trace, b int, model CostModel) (*Static, error
 		}
 	}
 	chosen := matching.IteratedMWM(tr.NumRacks, edges, b)
+	idx := trace.SharedPairIndex(tr.NumRacks)
 	s := &Static{
 		name:  "so-bma",
 		b:     b,
 		model: model,
-		edges: make(map[trace.PairKey]struct{}, len(chosen)),
+		idx:   idx,
+		edges: make([]uint64, (idx.NumPairs()+63)/64),
+		size:  len(chosen),
 		n:     tr.NumRacks,
 	}
 	for _, k := range chosen {
-		s.edges[k] = struct{}{}
+		id := idx.IDOfKey(k)
+		s.edges[id>>6] |= 1 << (uint(id) & 63)
 	}
 	return s, nil
+}
+
+func (s *Static) has(id trace.PairID) bool {
+	return s.edges[id>>6]&(1<<(uint(id)&63)) != 0
 }
 
 // Name implements Algorithm.
@@ -101,18 +116,35 @@ func (s *Static) B() int { return s.b }
 // Serve implements Algorithm.
 func (s *Static) Serve(u, v int) Step {
 	k := trace.MakePairKey(u, v)
-	_, matched := s.edges[k]
-	return Step{RoutingCost: s.model.RouteCost(k, matched)}
+	return Step{RoutingCost: s.model.RouteCost(k, s.has(s.idx.IDOfKey(k)))}
+}
+
+// ServeCompiled implements CompiledServer.
+func (s *Static) ServeCompiled(req trace.CompiledReq) Step {
+	if s.has(req.ID) {
+		return Step{RoutingCost: 1}
+	}
+	return Step{RoutingCost: float64(req.Dist)}
 }
 
 // Matched implements Algorithm.
 func (s *Static) Matched(u, v int) bool {
-	_, ok := s.edges[trace.MakePairKey(u, v)]
-	return ok
+	return s.has(s.idx.IDOfKey(trace.MakePairKey(u, v)))
 }
 
 // MatchingSize implements Algorithm.
-func (s *Static) MatchingSize() int { return len(s.edges) }
+func (s *Static) MatchingSize() int { return s.size }
+
+// Edges returns the static matching's edges in ascending pair order.
+func (s *Static) Edges() []trace.PairKey {
+	out := make([]trace.PairKey, 0, s.size)
+	for id := 0; id < s.idx.NumPairs(); id++ {
+		if s.has(trace.PairID(id)) {
+			out = append(out, s.idx.Key(trace.PairID(id)))
+		}
+	}
+	return out
+}
 
 // Reset implements Algorithm. The matching is static, so nothing changes.
 func (s *Static) Reset() {}

@@ -11,7 +11,7 @@ import (
 )
 
 // Extras returns the extension experiments that go beyond the paper's
-// figures: the ablations DESIGN.md calls out, runnable from
+// figures: the reproduction's ablation experiments, runnable from
 // cmd/experiments exactly like the paper figures ("ext-…" ids).
 func Extras() []Figure {
 	return []Figure{

@@ -8,7 +8,7 @@
 //   - fat-tree topology; 100 racks for the Facebook clusters, 50 for
 //     Microsoft;
 //   - Facebook workloads with spatial skew and temporal structure
-//     (synthesized; see DESIGN.md §5 for the substitution rationale);
+//     (synthesized; see README.md for the substitution rationale);
 //   - Microsoft workload sampled i.i.d. from a skewed traffic matrix;
 //   - request cost = shortest-path length, or 1 over a matching edge;
 //   - five repetitions, averaged.
@@ -19,6 +19,7 @@ package figures
 
 import (
 	"fmt"
+	"sync"
 
 	"obm/internal/core"
 	"obm/internal/graph"
@@ -112,6 +113,10 @@ func (w workload) buildConfig(scale float64, reps int, seed uint64) (sim.Config,
 	if err != nil {
 		return sim.Config{}, core.CostModel{}, nil, err
 	}
+	ct, err := tr.Compile(model.Metric.Dist)
+	if err != nil {
+		return sim.Config{}, core.CostModel{}, nil, err
+	}
 	cfg := sim.Config{
 		Name:        w.name,
 		Trace:       tr,
@@ -119,6 +124,7 @@ func (w workload) buildConfig(scale float64, reps int, seed uint64) (sim.Config,
 		Bs:          w.bs,
 		Reps:        reps,
 		Checkpoints: sim.Checkpoints(tr.Len(), 10),
+		Compiled:    ct,
 	}
 	return cfg, model, tr, nil
 }
@@ -156,13 +162,28 @@ func ObliviousSpec(model core.CostModel) sim.AlgSpec {
 	}
 }
 
-// StaticSpec is SO-BMA, built offline from the full trace.
+// StaticSpec is SO-BMA, built offline from the full trace. A Static
+// instance is immutable once built (Serve is read-only and Reset is a
+// no-op), so the spec memoizes one instance per b: repetitions and repeated
+// experiment runs skip the expensive iterated-blossom construction.
 func StaticSpec(tr *trace.Trace, model core.CostModel) sim.AlgSpec {
+	var mu sync.Mutex
+	cache := make(map[int]*core.Static)
 	return sim.AlgSpec{
 		Name:   "so-bma",
 		FixedB: -1,
 		New: func(b int, rep uint64) (core.Algorithm, error) {
-			return core.NewStaticFromTrace(tr, b, model)
+			mu.Lock()
+			defer mu.Unlock()
+			if s, ok := cache[b]; ok {
+				return s, nil
+			}
+			s, err := core.NewStaticFromTrace(tr, b, model)
+			if err != nil {
+				return nil, err
+			}
+			cache[b] = s
+			return s, nil
 		},
 	}
 }

@@ -15,11 +15,20 @@ import (
 // BMatching is a dynamic b-matching over n nodes: a set of node pairs such
 // that every node has at most b incident pairs. It is the structure M that
 // the online algorithms reconfigure.
+//
+// The representation is fully array-backed — degree counts in a flat
+// []int32 and per-node incidence lists in fixed-capacity slices of one
+// shared n·b slab — so membership tests, insertions and removals on the
+// per-request hot path never touch a hash map. Membership is an O(b) scan
+// of the smaller-degree endpoint's incidence list; b is a small constant
+// (the number of optical switches per rack) in every workload this
+// repository models.
 type BMatching struct {
-	n, b  int
-	deg   []int
-	edges map[trace.PairKey]struct{}
-	inc   []map[trace.PairKey]struct{} // incident pairs per node
+	n, b    int
+	size    int
+	deg     []int32
+	inc     []trace.PairKey // inc[u*b : u*b+deg[u]] are the pairs incident to u
+	present []uint64        // membership bitset over the dense pair index
 }
 
 // NewBMatching returns an empty b-matching over n nodes with degree cap b.
@@ -31,17 +40,20 @@ func NewBMatching(n, b int) *BMatching {
 	if b < 1 {
 		panic("matching: NewBMatching requires b >= 1")
 	}
-	inc := make([]map[trace.PairKey]struct{}, n)
-	for i := range inc {
-		inc[i] = make(map[trace.PairKey]struct{})
-	}
 	return &BMatching{
-		n:     n,
-		b:     b,
-		deg:   make([]int, n),
-		edges: make(map[trace.PairKey]struct{}),
-		inc:   inc,
+		n:       n,
+		b:       b,
+		deg:     make([]int32, n),
+		inc:     make([]trace.PairKey, n*b),
+		present: make([]uint64, (trace.NumPairs(n)+63)/64),
 	}
+}
+
+// pairBit returns the dense row-major pair index of {u, v}, u < v — the
+// same enumeration as trace.PairID, computed arithmetically so membership
+// is one bit test.
+func (m *BMatching) pairBit(u, v int) int {
+	return u*(2*m.n-u-1)/2 + (v - u - 1)
 }
 
 // N returns the node count.
@@ -51,19 +63,30 @@ func (m *BMatching) N() int { return m.n }
 func (m *BMatching) B() int { return m.b }
 
 // Size returns the number of matching edges.
-func (m *BMatching) Size() int { return len(m.edges) }
+func (m *BMatching) Size() int { return m.size }
 
 // Has reports whether pair k is a matching edge.
 func (m *BMatching) Has(k trace.PairKey) bool {
-	_, ok := m.edges[k]
-	return ok
+	u, v := k.Endpoints()
+	if v >= m.n {
+		return false
+	}
+	i := m.pairBit(u, v)
+	return m.present[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// HasID reports whether the pair with dense index id (trace.PairID order)
+// is a matching edge: one bit test, for hot paths that already carry the
+// dense index.
+func (m *BMatching) HasID(id trace.PairID) bool {
+	return m.present[id>>6]&(1<<(uint(id)&63)) != 0
 }
 
 // Degree returns the number of matching edges incident to node u.
-func (m *BMatching) Degree(u int) int { return m.deg[u] }
+func (m *BMatching) Degree(u int) int { return int(m.deg[u]) }
 
 // Free returns the remaining capacity of node u.
-func (m *BMatching) Free(u int) int { return m.b - m.deg[u] }
+func (m *BMatching) Free(u int) int { return m.b - int(m.deg[u]) }
 
 // Add inserts pair k as a matching edge. It returns an error if k is
 // already matched, an endpoint is out of range, or an endpoint is at its
@@ -76,17 +99,19 @@ func (m *BMatching) Add(k trace.PairKey) error {
 	if m.Has(k) {
 		return fmt.Errorf("matching: pair %v already matched", k)
 	}
-	if m.deg[u] >= m.b {
+	if int(m.deg[u]) >= m.b {
 		return fmt.Errorf("matching: node %d at degree cap %d", u, m.b)
 	}
-	if m.deg[v] >= m.b {
+	if int(m.deg[v]) >= m.b {
 		return fmt.Errorf("matching: node %d at degree cap %d", v, m.b)
 	}
-	m.edges[k] = struct{}{}
-	m.inc[u][k] = struct{}{}
-	m.inc[v][k] = struct{}{}
+	m.inc[u*m.b+int(m.deg[u])] = k
+	m.inc[v*m.b+int(m.deg[v])] = k
 	m.deg[u]++
 	m.deg[v]++
+	i := m.pairBit(u, v)
+	m.present[i>>6] |= 1 << (uint(i) & 63)
+	m.size++
 	return nil
 }
 
@@ -97,29 +122,47 @@ func (m *BMatching) Remove(k trace.PairKey) error {
 		return fmt.Errorf("matching: pair %v not matched", k)
 	}
 	u, v := k.Endpoints()
-	delete(m.edges, k)
-	delete(m.inc[u], k)
-	delete(m.inc[v], k)
-	m.deg[u]--
-	m.deg[v]--
+	m.removeIncident(u, k)
+	m.removeIncident(v, k)
+	i := m.pairBit(u, v)
+	m.present[i>>6] &^= 1 << (uint(i) & 63)
+	m.size--
 	return nil
 }
 
-// Incident returns the matching edges incident to node u, in unspecified
-// order.
-func (m *BMatching) Incident(u int) []trace.PairKey {
-	out := make([]trace.PairKey, 0, len(m.inc[u]))
-	for k := range m.inc[u] {
-		out = append(out, k)
+// removeIncident deletes k from node w's incidence list (swap with last).
+func (m *BMatching) removeIncident(w int, k trace.PairKey) {
+	base := w * m.b
+	last := int(m.deg[w]) - 1
+	for i := 0; i <= last; i++ {
+		if m.inc[base+i] == k {
+			m.inc[base+i] = m.inc[base+last]
+			m.deg[w]--
+			return
+		}
 	}
-	return out
+	panic(fmt.Sprintf("matching: edge %v missing from node %d incidence", k, w))
+}
+
+// Incident returns the matching edges incident to node u, in unspecified
+// order. The result is a fresh slice; use IncidentView or ForEachIncident
+// on allocation-sensitive paths.
+func (m *BMatching) Incident(u int) []trace.PairKey {
+	return append([]trace.PairKey(nil), m.IncidentView(u)...)
+}
+
+// IncidentView returns the matching edges incident to node u as a view into
+// the matching's backing array, in unspecified order. The view is read-only
+// and valid only until the next Add or Remove.
+func (m *BMatching) IncidentView(u int) []trace.PairKey {
+	return m.inc[u*m.b : u*m.b+int(m.deg[u])]
 }
 
 // ForEachIncident calls fn for every matching edge incident to node u,
 // stopping early if fn returns false. Allocation-free variant of Incident
 // for per-request hot paths.
 func (m *BMatching) ForEachIncident(u int, fn func(trace.PairKey) bool) {
-	for k := range m.inc[u] {
+	for _, k := range m.IncidentView(u) {
 		if !fn(k) {
 			return
 		}
@@ -128,38 +171,70 @@ func (m *BMatching) ForEachIncident(u int, fn func(trace.PairKey) bool) {
 
 // Edges returns all matching edges in unspecified order.
 func (m *BMatching) Edges() []trace.PairKey {
-	out := make([]trace.PairKey, 0, len(m.edges))
-	for k := range m.edges {
-		out = append(out, k)
+	out := make([]trace.PairKey, 0, m.size)
+	for u := 0; u < m.n; u++ {
+		for _, k := range m.IncidentView(u) {
+			if lo, _ := k.Endpoints(); lo == u {
+				out = append(out, k)
+			}
+		}
 	}
 	return out
 }
 
 // CheckInvariants verifies internal consistency (degree counts match
-// incidence sets, no node exceeds the cap). Intended for tests.
+// incidence lists, both endpoints list every edge, no node exceeds the cap,
+// no duplicates). Intended for tests.
 func (m *BMatching) CheckInvariants() error {
-	deg := make([]int, m.n)
-	for k := range m.edges {
-		u, v := k.Endpoints()
-		deg[u]++
-		deg[v]++
-		if _, ok := m.inc[u][k]; !ok {
-			return fmt.Errorf("matching: edge %v missing from inc[%d]", k, u)
+	edges := 0
+	for u := 0; u < m.n; u++ {
+		view := m.IncidentView(u)
+		if int(m.deg[u]) > m.b {
+			return fmt.Errorf("matching: node %d degree %d exceeds cap %d", u, m.deg[u], m.b)
 		}
-		if _, ok := m.inc[v][k]; !ok {
-			return fmt.Errorf("matching: edge %v missing from inc[%d]", k, v)
+		for i, k := range view {
+			ku, kv := k.Endpoints()
+			if ku != u && kv != u {
+				return fmt.Errorf("matching: edge %v in inc[%d] is not incident to %d", k, u, u)
+			}
+			for _, q := range view[i+1:] {
+				if q == k {
+					return fmt.Errorf("matching: edge %v duplicated in inc[%d]", k, u)
+				}
+			}
+			other := ku
+			if other == u {
+				other = kv
+			}
+			found := false
+			for _, q := range m.IncidentView(other) {
+				if q == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("matching: edge %v missing from inc[%d]", k, other)
+			}
+			if ku == u {
+				if !m.Has(k) {
+					return fmt.Errorf("matching: edge %v in incidence lists but not in bitset", k)
+				}
+				edges++
+			}
 		}
 	}
-	for u := 0; u < m.n; u++ {
-		if deg[u] != m.deg[u] {
-			return fmt.Errorf("matching: node %d degree %d, recorded %d", u, deg[u], m.deg[u])
+	if edges != m.size {
+		return fmt.Errorf("matching: %d edges in incidence lists, recorded size %d", edges, m.size)
+	}
+	bits := 0
+	for _, w := range m.present {
+		for ; w != 0; w &= w - 1 {
+			bits++
 		}
-		if deg[u] > m.b {
-			return fmt.Errorf("matching: node %d degree %d exceeds cap %d", u, deg[u], m.b)
-		}
-		if len(m.inc[u]) != deg[u] {
-			return fmt.Errorf("matching: node %d incidence size %d != degree %d", u, len(m.inc[u]), deg[u])
-		}
+	}
+	if bits != m.size {
+		return fmt.Errorf("matching: %d bits set in membership bitset, recorded size %d", bits, m.size)
 	}
 	return nil
 }

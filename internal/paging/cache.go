@@ -11,6 +11,15 @@
 // and bypassing is not allowed. These are the conventions of the paging
 // literature the paper reduces to; the R-BMA layer translates them into
 // matching reconfiguration costs.
+//
+// Dense universes: the b-matching reduction draws items from a universe
+// known up front (rack pairs, or other-endpoints per rack), so every
+// online cache here supports DeclareUniverse, replacing its position map
+// with a flat []int32 slot table; MarkingBank goes further and runs n
+// marking caches in shared slabs. Both are behavior-preserving: eviction
+// decisions are positional and seeded, never map-order-dependent, so a
+// given seed produces the same run in every mode — the repository's
+// seed-reproducibility contract.
 package paging
 
 // Cache is an online paging algorithm over uint64 items with a fixed

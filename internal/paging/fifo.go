@@ -1,16 +1,20 @@
 package paging
 
-// FIFO evicts the item fetched longest ago, regardless of use.
+// FIFO evicts the item fetched longest ago, regardless of use. The fetch
+// queue is a fixed ring buffer of k slots; membership supports the
+// dense-universe slot table via DeclareUniverse.
 type FIFO struct {
 	k     int
-	items map[uint64]struct{}
-	queue []uint64 // fetch order; queue[0] is the oldest
+	pos   posTable // membership only (stored value unused)
+	ring  []uint64
+	start int // index of the oldest item
+	count int
 }
 
 // NewFIFO returns an empty FIFO cache of capacity k.
 func NewFIFO(k int) *FIFO {
 	validateCap(k)
-	return &FIFO{k: k, items: make(map[uint64]struct{}, k)}
+	return &FIFO{k: k, pos: newPosTable(k), ring: make([]uint64, k)}
 }
 
 // NewFIFOFactory adapts NewFIFO to the Factory signature.
@@ -23,44 +27,68 @@ func (c *FIFO) Name() string { return "fifo" }
 func (c *FIFO) Cap() int { return c.k }
 
 // Len implements Cache.
-func (c *FIFO) Len() int { return len(c.items) }
+func (c *FIFO) Len() int { return c.count }
 
 // Contains implements Cache.
-func (c *FIFO) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+func (c *FIFO) Contains(item uint64) bool { return c.pos.contains(item) }
+
+// DeclareUniverse switches the membership map to a flat slot table over
+// items [0, size). The cache must be empty.
+func (c *FIFO) DeclareUniverse(size int) { c.pos.declareUniverse(size) }
 
 // Access implements Cache.
 func (c *FIFO) Access(item uint64) (uint64, bool, bool) {
-	if _, ok := c.items[item]; ok {
+	if c.pos.contains(item) {
 		return 0, false, false
 	}
 	var evictedItem uint64
 	evicted := false
-	if len(c.items) == c.k {
-		evictedItem = c.queue[0]
-		c.queue = c.queue[1:]
-		delete(c.items, evictedItem)
+	if c.count == c.k {
+		evictedItem = c.ring[c.start]
+		c.start++
+		if c.start == c.k {
+			c.start = 0
+		}
+		c.count--
+		c.pos.del(evictedItem)
 		evicted = true
 	}
-	c.items[item] = struct{}{}
-	c.queue = append(c.queue, item)
+	i := c.start + c.count
+	if i >= c.k {
+		i -= c.k
+	}
+	c.ring[i] = item
+	c.count++
+	c.pos.set(item, 0)
 	return evictedItem, evicted, true
 }
 
-// Items implements Cache.
-func (c *FIFO) Items() []uint64 { return append([]uint64(nil), c.queue...) }
+// Items implements Cache, in fetch order (oldest first).
+func (c *FIFO) Items() []uint64 {
+	out := make([]uint64, 0, c.count)
+	for j := 0; j < c.count; j++ {
+		i := c.start + j
+		if i >= c.k {
+			i -= c.k
+		}
+		out = append(out, c.ring[i])
+	}
+	return out
+}
 
 // Reset implements Cache.
 func (c *FIFO) Reset() {
-	c.items = make(map[uint64]struct{}, c.k)
-	c.queue = nil
+	c.pos.reset(c.k)
+	c.start, c.count = 0, 0
 }
 
 // CLOCK approximates LRU with a second-chance bit per item.
 type CLOCK struct {
 	k     int
-	items map[uint64]int // item -> slot index
+	pos   posTable // item -> slot index
 	slots []clockSlot
 	hand  int
+	count int
 }
 
 type clockSlot struct {
@@ -72,7 +100,7 @@ type clockSlot struct {
 // NewCLOCK returns an empty CLOCK cache of capacity k.
 func NewCLOCK(k int) *CLOCK {
 	validateCap(k)
-	return &CLOCK{k: k, items: make(map[uint64]int, k), slots: make([]clockSlot, k)}
+	return &CLOCK{k: k, pos: newPosTable(k), slots: make([]clockSlot, k)}
 }
 
 // NewCLOCKFactory adapts NewCLOCK to the Factory signature.
@@ -85,23 +113,28 @@ func (c *CLOCK) Name() string { return "clock" }
 func (c *CLOCK) Cap() int { return c.k }
 
 // Len implements Cache.
-func (c *CLOCK) Len() int { return len(c.items) }
+func (c *CLOCK) Len() int { return c.count }
 
 // Contains implements Cache.
-func (c *CLOCK) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+func (c *CLOCK) Contains(item uint64) bool { return c.pos.contains(item) }
+
+// DeclareUniverse switches the position map to a flat slot table over items
+// [0, size). The cache must be empty.
+func (c *CLOCK) DeclareUniverse(size int) { c.pos.declareUniverse(size) }
 
 // Access implements Cache.
 func (c *CLOCK) Access(item uint64) (uint64, bool, bool) {
-	if i, ok := c.items[item]; ok {
+	if i, ok := c.pos.get(item); ok {
 		c.slots[i].used = true
 		return 0, false, false
 	}
 	// Find a slot: first an empty one, otherwise sweep the hand.
-	if len(c.items) < c.k {
+	if c.count < c.k {
 		for i := range c.slots {
 			if !c.slots[i].full {
 				c.slots[i] = clockSlot{item: item, used: true, full: true}
-				c.items[item] = i
+				c.pos.set(item, int32(i))
+				c.count++
 				return 0, false, true
 			}
 		}
@@ -114,9 +147,9 @@ func (c *CLOCK) Access(item uint64) (uint64, bool, bool) {
 			continue
 		}
 		evictedItem := s.item
-		delete(c.items, evictedItem)
+		c.pos.del(evictedItem)
 		*s = clockSlot{item: item, used: true, full: true}
-		c.items[item] = c.hand
+		c.pos.set(item, int32(c.hand))
 		c.hand = (c.hand + 1) % c.k
 		return evictedItem, true, true
 	}
@@ -124,16 +157,21 @@ func (c *CLOCK) Access(item uint64) (uint64, bool, bool) {
 
 // Items implements Cache.
 func (c *CLOCK) Items() []uint64 {
-	out := make([]uint64, 0, len(c.items))
-	for it := range c.items {
-		out = append(out, it)
+	out := make([]uint64, 0, c.k)
+	for i := range c.slots {
+		if c.slots[i].full {
+			out = append(out, c.slots[i].item)
+		}
 	}
 	return out
 }
 
 // Reset implements Cache.
 func (c *CLOCK) Reset() {
-	c.items = make(map[uint64]int, c.k)
-	c.slots = make([]clockSlot, c.k)
+	c.pos.reset(c.k)
+	for i := range c.slots {
+		c.slots[i] = clockSlot{}
+	}
 	c.hand = 0
+	c.count = 0
 }

@@ -2,10 +2,16 @@ package paging
 
 // LFU evicts the item with the smallest access frequency (ties broken by
 // least-recent use). Frequencies persist only while the item is cached.
+// Entries live in a fixed slab of k slots (no per-item allocation); the
+// victim scan walks the slab, which is deterministic because the
+// (frequency, last-use) order is total — last-use ticks are unique.
 type LFU struct {
-	k     int
-	items map[uint64]*lfuEntry
-	tick  uint64
+	k       int
+	pos     posTable // item -> slot
+	items   []uint64 // slot -> item
+	entries []lfuEntry
+	count   int
+	tick    uint64
 }
 
 type lfuEntry struct {
@@ -16,7 +22,7 @@ type lfuEntry struct {
 // NewLFU returns an empty LFU cache of capacity k.
 func NewLFU(k int) *LFU {
 	validateCap(k)
-	return &LFU{k: k, items: make(map[uint64]*lfuEntry, k)}
+	return &LFU{k: k, pos: newPosTable(k), items: make([]uint64, k), entries: make([]lfuEntry, k)}
 }
 
 // NewLFUFactory adapts NewLFU to the Factory signature.
@@ -29,48 +35,55 @@ func (c *LFU) Name() string { return "lfu" }
 func (c *LFU) Cap() int { return c.k }
 
 // Len implements Cache.
-func (c *LFU) Len() int { return len(c.items) }
+func (c *LFU) Len() int { return c.count }
 
 // Contains implements Cache.
-func (c *LFU) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+func (c *LFU) Contains(item uint64) bool { return c.pos.contains(item) }
+
+// DeclareUniverse switches the position map to a flat slot table over items
+// [0, size). The cache must be empty.
+func (c *LFU) DeclareUniverse(size int) { c.pos.declareUniverse(size) }
 
 // Access implements Cache.
 func (c *LFU) Access(item uint64) (uint64, bool, bool) {
 	c.tick++
-	if e, ok := c.items[item]; ok {
-		e.freq++
-		e.lastUsed = c.tick
+	if i, ok := c.pos.get(item); ok {
+		c.entries[i].freq++
+		c.entries[i].lastUsed = c.tick
 		return 0, false, false
 	}
 	var evictedItem uint64
 	evicted := false
-	if len(c.items) == c.k {
-		var victim uint64
-		var ve *lfuEntry
-		for it, e := range c.items {
-			if ve == nil || e.freq < ve.freq || (e.freq == ve.freq && e.lastUsed < ve.lastUsed) {
-				victim, ve = it, e
+	slot := c.count
+	if c.count == c.k {
+		vs := 0
+		for s := 1; s < c.count; s++ {
+			e, ve := &c.entries[s], &c.entries[vs]
+			if e.freq < ve.freq || (e.freq == ve.freq && e.lastUsed < ve.lastUsed) {
+				vs = s
 			}
 		}
-		delete(c.items, victim)
-		evictedItem, evicted = victim, true
+		evictedItem, evicted = c.items[vs], true
+		c.pos.del(evictedItem)
+		c.count--
+		slot = vs
 	}
-	c.items[item] = &lfuEntry{freq: 1, lastUsed: c.tick}
+	c.items[slot] = item
+	c.entries[slot] = lfuEntry{freq: 1, lastUsed: c.tick}
+	c.pos.set(item, int32(slot))
+	c.count++
 	return evictedItem, evicted, true
 }
 
 // Items implements Cache.
 func (c *LFU) Items() []uint64 {
-	out := make([]uint64, 0, len(c.items))
-	for it := range c.items {
-		out = append(out, it)
-	}
-	return out
+	return append([]uint64(nil), c.items[:c.count]...)
 }
 
 // Reset implements Cache.
 func (c *LFU) Reset() {
-	c.items = make(map[uint64]*lfuEntry, c.k)
+	c.pos.reset(c.k)
+	c.count = 0
 	c.tick = 0
 }
 

@@ -1,22 +1,39 @@
 package paging
 
 // LRU evicts the least-recently-used item. Deterministic, k-competitive.
+// The recency list is intrusive over a fixed slab of k nodes (no per-item
+// allocation); the item→node map supports the dense-universe slot table via
+// DeclareUniverse.
 type LRU struct {
 	k     int
-	items map[uint64]*lruNode
-	head  *lruNode // most recent
-	tail  *lruNode // least recent
+	pos   posTable // item -> index into nodes
+	nodes []lruNode
+	free  []int32
+	head  int32 // most recent, -1 if empty
+	tail  int32 // least recent, -1 if empty
+	count int
 }
 
 type lruNode struct {
 	item       uint64
-	prev, next *lruNode
+	prev, next int32
 }
 
 // NewLRU returns an empty LRU cache of capacity k.
 func NewLRU(k int) *LRU {
 	validateCap(k)
-	return &LRU{k: k, items: make(map[uint64]*lruNode, k)}
+	c := &LRU{k: k, pos: newPosTable(k), nodes: make([]lruNode, k), free: make([]int32, 0, k)}
+	c.initFree()
+	return c
+}
+
+func (c *LRU) initFree() {
+	c.free = c.free[:0]
+	for i := c.k - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	c.head, c.tail = -1, -1
+	c.count = 0
 }
 
 // NewLRUFactory adapts NewLRU to the Factory signature.
@@ -29,76 +46,87 @@ func (c *LRU) Name() string { return "lru" }
 func (c *LRU) Cap() int { return c.k }
 
 // Len implements Cache.
-func (c *LRU) Len() int { return len(c.items) }
+func (c *LRU) Len() int { return c.count }
 
 // Contains implements Cache.
-func (c *LRU) Contains(item uint64) bool { _, ok := c.items[item]; return ok }
+func (c *LRU) Contains(item uint64) bool { return c.pos.contains(item) }
+
+// DeclareUniverse switches the position map to a flat slot table over items
+// [0, size). The cache must be empty.
+func (c *LRU) DeclareUniverse(size int) { c.pos.declareUniverse(size) }
 
 // Access implements Cache.
 func (c *LRU) Access(item uint64) (uint64, bool, bool) {
-	if n, ok := c.items[item]; ok {
-		c.moveToFront(n)
+	if i, ok := c.pos.get(item); ok {
+		c.moveToFront(i)
 		return 0, false, false
 	}
 	var evictedItem uint64
 	evicted := false
-	if len(c.items) == c.k {
+	if c.count == c.k {
 		victim := c.tail
 		c.unlink(victim)
-		delete(c.items, victim.item)
-		evictedItem, evicted = victim.item, true
+		c.pos.del(c.nodes[victim].item)
+		c.free = append(c.free, victim)
+		c.count--
+		evictedItem, evicted = c.nodes[victim].item, true
 	}
-	n := &lruNode{item: item}
-	c.items[item] = n
-	c.pushFront(n)
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.nodes[i].item = item
+	c.pos.set(item, i)
+	c.pushFront(i)
+	c.count++
 	return evictedItem, evicted, true
 }
 
-// Items implements Cache.
+// Items implements Cache, in most- to least-recently-used order.
 func (c *LRU) Items() []uint64 {
-	out := make([]uint64, 0, len(c.items))
-	for n := c.head; n != nil; n = n.next {
-		out = append(out, n.item)
+	out := make([]uint64, 0, c.count)
+	for i := c.head; i >= 0; i = c.nodes[i].next {
+		out = append(out, c.nodes[i].item)
 	}
 	return out
 }
 
 // Reset implements Cache.
 func (c *LRU) Reset() {
-	c.items = make(map[uint64]*lruNode, c.k)
-	c.head, c.tail = nil, nil
+	c.pos.reset(c.k)
+	c.initFree()
 }
 
-func (c *LRU) pushFront(n *lruNode) {
-	n.prev = nil
+func (c *LRU) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev = -1
 	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+	if c.head >= 0 {
+		c.nodes[c.head].prev = i
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
 	}
 }
 
-func (c *LRU) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *LRU) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = -1, -1
 }
 
-func (c *LRU) moveToFront(n *lruNode) {
-	if c.head == n {
+func (c *LRU) moveToFront(i int32) {
+	if c.head == i {
 		return
 	}
-	c.unlink(n)
-	c.pushFront(n)
+	c.unlink(i)
+	c.pushFront(i)
 }

@@ -9,12 +9,16 @@ import "obm/internal/stats"
 // cleared. Randomized marking is 2·H_k-competitive against cache size k,
 // and 2·ln(k/(k−h+1))-competitive against an offline optimum with cache
 // size h ≤ k (Young 1991) — the bound that powers R-BMA's (b,a) guarantee.
+//
+// Eviction choices depend only on slot positions and the seeded RNG, never
+// on item values, so a Marking cache behaves bit-for-bit identically in map
+// and dense-universe (DeclareUniverse) mode.
 type Marking struct {
 	k        int
 	rng      *stats.Rand
 	seed     uint64
-	pos      map[uint64]int // item -> index in slots
-	slots    []uint64       // cached items; [0, nMarked) are marked
+	pos      posTable // item -> index in slots
+	slots    []uint64 // cached items; [0, nMarked) are marked
 	nMarked  int
 	phases   int
 	detFirst bool // deterministic variant: evict first unmarked instead of random
@@ -28,7 +32,7 @@ func NewMarking(k int, seed uint64) *Marking {
 		k:     k,
 		rng:   stats.NewRand(seed),
 		seed:  seed,
-		pos:   make(map[uint64]int, k),
+		pos:   newPosTable(k),
 		slots: make([]uint64, 0, k),
 	}
 }
@@ -65,7 +69,11 @@ func (c *Marking) Cap() int { return c.k }
 func (c *Marking) Len() int { return len(c.slots) }
 
 // Contains implements Cache.
-func (c *Marking) Contains(item uint64) bool { _, ok := c.pos[item]; return ok }
+func (c *Marking) Contains(item uint64) bool { return c.pos.contains(item) }
+
+// DeclareUniverse switches the position map to a flat slot table over items
+// [0, size). The cache must be empty.
+func (c *Marking) DeclareUniverse(size int) { c.pos.declareUniverse(size) }
 
 // Phases returns the number of completed marking phases, exposed for the
 // phase-structure tests and the competitive analysis (cost per phase is at
@@ -74,14 +82,14 @@ func (c *Marking) Phases() int { return c.phases }
 
 // Marked reports whether item is cached and marked.
 func (c *Marking) Marked(item uint64) bool {
-	i, ok := c.pos[item]
-	return ok && i < c.nMarked
+	i, ok := c.pos.get(item)
+	return ok && int(i) < c.nMarked
 }
 
 // Access implements Cache.
 func (c *Marking) Access(item uint64) (uint64, bool, bool) {
-	if i, ok := c.pos[item]; ok {
-		c.mark(i)
+	if i, ok := c.pos.get(item); ok {
+		c.mark(int(i))
 		return 0, false, false
 	}
 	var evictedItem uint64
@@ -102,14 +110,14 @@ func (c *Marking) Access(item uint64) (uint64, bool, bool) {
 		evicted = true
 		last := len(c.slots) - 1
 		c.slots[idx] = c.slots[last]
-		c.pos[c.slots[idx]] = idx
+		c.pos.set(c.slots[idx], int32(idx))
 		c.slots = c.slots[:last]
-		delete(c.pos, evictedItem)
+		c.pos.del(evictedItem)
 	}
 	// Fetch and mark the new item.
 	c.slots = append(c.slots, item)
 	i := len(c.slots) - 1
-	c.pos[item] = i
+	c.pos.set(item, int32(i))
 	c.mark(i)
 	return evictedItem, evicted, true
 }
@@ -121,8 +129,8 @@ func (c *Marking) mark(i int) {
 	}
 	j := c.nMarked
 	c.slots[i], c.slots[j] = c.slots[j], c.slots[i]
-	c.pos[c.slots[i]] = i
-	c.pos[c.slots[j]] = j
+	c.pos.set(c.slots[i], int32(i))
+	c.pos.set(c.slots[j], int32(j))
 	c.nMarked++
 }
 
@@ -132,7 +140,7 @@ func (c *Marking) Items() []uint64 { return append([]uint64(nil), c.slots...) }
 // Reset implements Cache.
 func (c *Marking) Reset() {
 	c.rng = stats.NewRand(c.seed)
-	c.pos = make(map[uint64]int, c.k)
+	c.pos.reset(c.k)
 	c.slots = c.slots[:0]
 	c.nMarked = 0
 	c.phases = 0
@@ -145,7 +153,7 @@ type RandomEvict struct {
 	k     int
 	rng   *stats.Rand
 	seed  uint64
-	pos   map[uint64]int
+	pos   posTable
 	slots []uint64
 }
 
@@ -156,7 +164,7 @@ func NewRandomEvict(k int, seed uint64) *RandomEvict {
 		k:    k,
 		rng:  stats.NewRand(seed),
 		seed: seed,
-		pos:  make(map[uint64]int, k),
+		pos:  newPosTable(k),
 	}
 }
 
@@ -173,11 +181,15 @@ func (c *RandomEvict) Cap() int { return c.k }
 func (c *RandomEvict) Len() int { return len(c.slots) }
 
 // Contains implements Cache.
-func (c *RandomEvict) Contains(item uint64) bool { _, ok := c.pos[item]; return ok }
+func (c *RandomEvict) Contains(item uint64) bool { return c.pos.contains(item) }
+
+// DeclareUniverse switches the position map to a flat slot table over items
+// [0, size). The cache must be empty.
+func (c *RandomEvict) DeclareUniverse(size int) { c.pos.declareUniverse(size) }
 
 // Access implements Cache.
 func (c *RandomEvict) Access(item uint64) (uint64, bool, bool) {
-	if _, ok := c.pos[item]; ok {
+	if c.pos.contains(item) {
 		return 0, false, false
 	}
 	var evictedItem uint64
@@ -187,13 +199,13 @@ func (c *RandomEvict) Access(item uint64) (uint64, bool, bool) {
 		evictedItem = c.slots[idx]
 		last := len(c.slots) - 1
 		c.slots[idx] = c.slots[last]
-		c.pos[c.slots[idx]] = idx
+		c.pos.set(c.slots[idx], int32(idx))
 		c.slots = c.slots[:last]
-		delete(c.pos, evictedItem)
+		c.pos.del(evictedItem)
 		evicted = true
 	}
 	c.slots = append(c.slots, item)
-	c.pos[item] = len(c.slots) - 1
+	c.pos.set(item, int32(len(c.slots)-1))
 	return evictedItem, evicted, true
 }
 
@@ -203,6 +215,6 @@ func (c *RandomEvict) Items() []uint64 { return append([]uint64(nil), c.slots...
 // Reset implements Cache.
 func (c *RandomEvict) Reset() {
 	c.rng = stats.NewRand(c.seed)
-	c.pos = make(map[uint64]int, c.k)
+	c.pos.reset(c.k)
 	c.slots = c.slots[:0]
 }

@@ -3,6 +3,15 @@
 // curves and wall-clock execution time (the paper's Figures 1–4 plot
 // exactly these two quantities), averages repetitions, and renders results
 // as CSV and quick ASCII charts.
+//
+// The experiment runners compile the trace once (trace.Compiled: every
+// request pre-resolved to its dense PairID, endpoints and static distance)
+// and replay the compiled form through every algorithm, b value and
+// repetition, reusing one scratch result buffer per worker so repeated
+// replays allocate almost nothing. Replaying a compiled trace is
+// cost-identical to replaying the raw trace: algorithms that implement
+// core.CompiledServer take the dense fast path, everything else falls back
+// to Serve(u, v).
 package sim
 
 import (
@@ -34,6 +43,17 @@ type RunResult struct {
 	FinalMatchingSize int
 }
 
+// reset clears the result for reuse, truncating (not freeing) the series.
+func (r *RunResult) reset(label string) {
+	r.Series.Label = label
+	r.Series.X = r.Series.X[:0]
+	r.Series.Routing = r.Series.Routing[:0]
+	r.Series.Reconfig = r.Series.Reconfig[:0]
+	r.Elapsed = 0
+	r.Adds, r.Removals = 0, 0
+	r.FinalMatchingSize = 0
+}
+
 // Checkpoints returns num evenly spaced checkpoints ending at total.
 func Checkpoints(total, num int) []int {
 	if num < 1 || total < 1 {
@@ -49,42 +69,143 @@ func Checkpoints(total, num int) []int {
 	return out
 }
 
+func validateCheckpoints(checkpoints []int, traceLen int) error {
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			return fmt.Errorf("sim: checkpoints must be ascending")
+		}
+	}
+	if len(checkpoints) > 0 && checkpoints[len(checkpoints)-1] > traceLen {
+		return fmt.Errorf("sim: checkpoint %d beyond trace length %d",
+			checkpoints[len(checkpoints)-1], traceLen)
+	}
+	return nil
+}
+
+// costMeter accumulates per-step costs and samples them at checkpoints.
+// nextCP is the upcoming checkpoint (or -1), kept denormalized so the
+// replay loops pay one integer compare per request instead of a method
+// call.
+type costMeter struct {
+	res               *RunResult
+	checkpoints       []int
+	alpha             float64
+	routing, reconfig float64
+	adds, removals    int
+	ci                int
+	nextCP            int
+}
+
+func newCostMeter(res *RunResult, checkpoints []int, alpha float64) costMeter {
+	m := costMeter{res: res, checkpoints: checkpoints, alpha: alpha, nextCP: -1}
+	if len(checkpoints) > 0 {
+		m.nextCP = checkpoints[0]
+	}
+	return m
+}
+
+// step folds one Serve result into the running totals. Small enough to
+// inline into the replay loops.
+func (c *costMeter) step(st core.Step) {
+	c.routing += st.RoutingCost
+	c.reconfig += st.ReconfigCost(c.alpha)
+	c.adds += st.Adds
+	c.removals += st.Removals
+}
+
+// checkpoint samples the running totals at request count i+1.
+func (c *costMeter) checkpoint(i int) {
+	for c.ci < len(c.checkpoints) && i+1 == c.checkpoints[c.ci] {
+		c.res.Series.X = append(c.res.Series.X, i+1)
+		c.res.Series.Routing = append(c.res.Series.Routing, c.routing)
+		c.res.Series.Reconfig = append(c.res.Series.Reconfig, c.reconfig)
+		c.ci++
+	}
+	c.nextCP = -1
+	if c.ci < len(c.checkpoints) {
+		c.nextCP = c.checkpoints[c.ci]
+	}
+}
+
+// finish folds the step totals back into the result.
+func (c *costMeter) finish() {
+	c.res.Adds = c.adds
+	c.res.Removals = c.removals
+}
+
 // Run replays tr through alg, recording cumulative costs at the given
 // checkpoints (request counts, ascending). Elapsed time covers only the
 // Serve loop, mirroring the paper's sequential execution-time measurement.
 func Run(alg core.Algorithm, tr *trace.Trace, alpha float64, checkpoints []int) (RunResult, error) {
-	if err := tr.Validate(); err != nil {
+	var res RunResult
+	if err := runInto(&res, alg, tr, alpha, checkpoints); err != nil {
 		return RunResult{}, err
 	}
-	for i := 1; i < len(checkpoints); i++ {
-		if checkpoints[i] <= checkpoints[i-1] {
-			return RunResult{}, fmt.Errorf("sim: checkpoints must be ascending")
-		}
+	return res, nil
+}
+
+func runInto(res *RunResult, alg core.Algorithm, tr *trace.Trace, alpha float64, checkpoints []int) error {
+	if err := tr.Validate(); err != nil {
+		return err
 	}
-	if len(checkpoints) > 0 && checkpoints[len(checkpoints)-1] > tr.Len() {
-		return RunResult{}, fmt.Errorf("sim: checkpoint %d beyond trace length %d",
-			checkpoints[len(checkpoints)-1], tr.Len())
+	if err := validateCheckpoints(checkpoints, tr.Len()); err != nil {
+		return err
 	}
-	res := RunResult{Series: Series{Label: alg.Name()}}
-	var routing, reconfig float64
-	ci := 0
+	res.reset(alg.Name())
+	m := newCostMeter(res, checkpoints, alpha)
 	start := time.Now()
 	for i, req := range tr.Reqs {
-		st := alg.Serve(int(req.Src), int(req.Dst))
-		routing += st.RoutingCost
-		reconfig += st.ReconfigCost(alpha)
-		res.Adds += st.Adds
-		res.Removals += st.Removals
-		for ci < len(checkpoints) && i+1 == checkpoints[ci] {
-			res.Series.X = append(res.Series.X, i+1)
-			res.Series.Routing = append(res.Series.Routing, routing)
-			res.Series.Reconfig = append(res.Series.Reconfig, reconfig)
-			ci++
+		m.step(alg.Serve(int(req.Src), int(req.Dst)))
+		if i+1 == m.nextCP {
+			m.checkpoint(i)
 		}
 	}
 	res.Elapsed = time.Since(start)
+	m.finish()
 	res.FinalMatchingSize = alg.MatchingSize()
+	return nil
+}
+
+// RunCompiled is Run over a pre-compiled trace: algorithms implementing
+// core.CompiledServer replay without per-request canonicalization or metric
+// lookups. Cost curves are identical to Run on the source trace.
+func RunCompiled(alg core.Algorithm, ct *trace.Compiled, alpha float64, checkpoints []int) (RunResult, error) {
+	var res RunResult
+	if err := runCompiledInto(&res, alg, ct, alpha, checkpoints); err != nil {
+		return RunResult{}, err
+	}
 	return res, nil
+}
+
+// runCompiledInto is RunCompiled writing into a reusable result buffer: the
+// series slices are truncated and re-appended, so a result recycled across
+// repetitions stops allocating once warm.
+func runCompiledInto(res *RunResult, alg core.Algorithm, ct *trace.Compiled, alpha float64, checkpoints []int) error {
+	if err := validateCheckpoints(checkpoints, ct.Len()); err != nil {
+		return err
+	}
+	res.reset(alg.Name())
+	m := newCostMeter(res, checkpoints, alpha)
+	start := time.Now()
+	if cs, ok := alg.(core.CompiledServer); ok {
+		for i, req := range ct.Reqs {
+			m.step(cs.ServeCompiled(req))
+			if i+1 == m.nextCP {
+				m.checkpoint(i)
+			}
+		}
+	} else {
+		for i, req := range ct.Reqs {
+			m.step(alg.Serve(int(req.U), int(req.V)))
+			if i+1 == m.nextCP {
+				m.checkpoint(i)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	m.finish()
+	res.FinalMatchingSize = alg.MatchingSize()
+	return nil
 }
 
 // Averaged is the mean of several runs of the same configuration with
@@ -102,11 +223,21 @@ type Averaged struct {
 // Deterministic algorithms can ignore rep.
 type AlgFactory func(rep uint64) (core.Algorithm, error)
 
-// RunAveraged replays tr through reps independent instances and averages
-// the curves.
-func RunAveraged(f AlgFactory, tr *trace.Trace, alpha float64, checkpoints []int, reps int) (Averaged, error) {
+// scratch carries the per-worker reusable buffers of the experiment
+// runners: one run result recycled across every repetition the worker
+// executes.
+type scratch struct {
+	res RunResult
+}
+
+// runAveraged accumulates reps runs produced by replay into a mean curve.
+func runAveraged(f AlgFactory, reps int, sc *scratch,
+	replay func(res *RunResult, alg core.Algorithm) error) (Averaged, error) {
 	if reps < 1 {
 		return Averaged{}, fmt.Errorf("sim: reps must be >= 1")
+	}
+	if sc == nil {
+		sc = &scratch{}
 	}
 	var avg Averaged
 	avg.Reps = reps
@@ -116,13 +247,13 @@ func RunAveraged(f AlgFactory, tr *trace.Trace, alpha float64, checkpoints []int
 		if err != nil {
 			return Averaged{}, err
 		}
-		res, err := Run(alg, tr, alpha, checkpoints)
-		if err != nil {
+		if err := replay(&sc.res, alg); err != nil {
 			return Averaged{}, err
 		}
+		res := &sc.res
 		if rep == 0 {
 			avg.Label = res.Series.Label
-			avg.X = res.Series.X
+			avg.X = append([]int(nil), res.Series.X...)
 			avg.Routing = make([]float64, len(res.Series.Routing))
 			avg.Reconfig = make([]float64, len(res.Series.Reconfig))
 		}
@@ -138,4 +269,27 @@ func RunAveraged(f AlgFactory, tr *trace.Trace, alpha float64, checkpoints []int
 	}
 	avg.Elapsed = totalElapsed / time.Duration(reps)
 	return avg, nil
+}
+
+// RunAveraged replays tr through reps independent instances and averages
+// the curves.
+func RunAveraged(f AlgFactory, tr *trace.Trace, alpha float64, checkpoints []int, reps int) (Averaged, error) {
+	return runAveraged(f, reps, nil, func(res *RunResult, alg core.Algorithm) error {
+		return runInto(res, alg, tr, alpha, checkpoints)
+	})
+}
+
+// RunAveragedCompiled replays a compiled trace through reps independent
+// instances and averages the curves.
+func RunAveragedCompiled(f AlgFactory, ct *trace.Compiled, alpha float64, checkpoints []int, reps int) (Averaged, error) {
+	return runAveragedCompiled(f, ct, alpha, checkpoints, reps, nil)
+}
+
+// runAveragedCompiled is RunAveragedCompiled with a per-worker scratch: the
+// experiment runners pass one per worker so repetitions reuse the run
+// buffer.
+func runAveragedCompiled(f AlgFactory, ct *trace.Compiled, alpha float64, checkpoints []int, reps int, sc *scratch) (Averaged, error) {
+	return runAveraged(f, reps, sc, func(res *RunResult, alg core.Algorithm) error {
+		return runCompiledInto(res, alg, ct, alpha, checkpoints)
+	})
 }

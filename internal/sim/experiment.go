@@ -32,6 +32,10 @@ type Config struct {
 	Bs          []int
 	Reps        int
 	Checkpoints []int
+	// Compiled optionally carries Trace pre-resolved against Model's
+	// metric (trace.Compile), so repeated experiment runs skip
+	// re-compilation. When nil the runners compile on entry.
+	Compiled *trace.Compiled
 }
 
 // Curve is an averaged result annotated with its configuration.
@@ -47,15 +51,39 @@ type Result struct {
 	Curves []Curve
 }
 
-// RunExperiment executes cfg for each algorithm spec and each b.
-func RunExperiment(cfg Config, specs []AlgSpec) (*Result, error) {
+// compile validates cfg and pre-resolves its trace against the cost model's
+// metric, shared by every (algorithm, b, repetition) replay.
+func (cfg *Config) compile() (*trace.Compiled, error) {
 	if cfg.Reps < 1 {
 		return nil, fmt.Errorf("sim: experiment %q needs Reps >= 1", cfg.Name)
 	}
 	if len(cfg.Bs) == 0 {
 		return nil, fmt.Errorf("sim: experiment %q needs a b sweep", cfg.Name)
 	}
+	if cfg.Compiled != nil {
+		if cfg.Compiled.NumRacks != cfg.Trace.NumRacks || cfg.Compiled.Len() != cfg.Trace.Len() {
+			return nil, fmt.Errorf("sim: experiment %q: Compiled (%d racks, %d requests) does not match Trace (%d racks, %d requests)",
+				cfg.Name, cfg.Compiled.NumRacks, cfg.Compiled.Len(), cfg.Trace.NumRacks, cfg.Trace.Len())
+		}
+		return cfg.Compiled, nil
+	}
+	ct, err := cfg.Trace.Compile(cfg.Model.Metric.Dist)
+	if err != nil {
+		return nil, fmt.Errorf("sim: experiment %q: %w", cfg.Name, err)
+	}
+	return ct, nil
+}
+
+// RunExperiment executes cfg for each algorithm spec and each b. The trace
+// is compiled once and replayed through a single scratch buffer, so the
+// per-run cost is the decision loops themselves.
+func RunExperiment(cfg Config, specs []AlgSpec) (*Result, error) {
+	ct, err := cfg.compile()
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Name: cfg.Name}
+	var sc scratch
 	for _, spec := range specs {
 		bs := cfg.Bs
 		if spec.FixedB >= 0 {
@@ -63,7 +91,7 @@ func RunExperiment(cfg Config, specs []AlgSpec) (*Result, error) {
 		}
 		for _, b := range bs {
 			f := func(rep uint64) (core.Algorithm, error) { return spec.New(b, rep) }
-			avg, err := RunAveraged(f, cfg.Trace, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps)
+			avg, err := runAveragedCompiled(f, ct, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps, &sc)
 			if err != nil {
 				return nil, fmt.Errorf("sim: %s/%s(b=%d): %w", cfg.Name, spec.Name, b, err)
 			}

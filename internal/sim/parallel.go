@@ -16,11 +16,9 @@ import (
 // execution-time figures, and this for cost-only sweeps.
 // workers <= 0 selects GOMAXPROCS.
 func RunExperimentParallel(cfg Config, specs []AlgSpec, workers int) (*Result, error) {
-	if cfg.Reps < 1 {
-		return nil, fmt.Errorf("sim: experiment %q needs Reps >= 1", cfg.Name)
-	}
-	if len(cfg.Bs) == 0 {
-		return nil, fmt.Errorf("sim: experiment %q needs a b sweep", cfg.Name)
+	ct, err := cfg.compile()
+	if err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -48,9 +46,10 @@ func RunExperimentParallel(cfg Config, specs []AlgSpec, workers int) (*Result, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc scratch // per-worker: reused across every job and repetition
 			for j := range ch {
 				f := func(rep uint64) (core.Algorithm, error) { return j.spec.New(j.b, rep) }
-				avg, err := RunAveraged(f, cfg.Trace, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps)
+				avg, err := runAveragedCompiled(f, ct, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps, &sc)
 				if err != nil {
 					errs[j.index] = fmt.Errorf("sim: %s/%s(b=%d): %w", cfg.Name, j.spec.Name, j.b, err)
 					continue

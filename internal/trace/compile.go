@@ -1,0 +1,54 @@
+package trace
+
+import "fmt"
+
+// CompiledReq is one request of a Compiled trace with everything the
+// request hot path needs pre-resolved: the dense PairID, both endpoints,
+// and the static-network distance ℓ between them.
+type CompiledReq struct {
+	ID   PairID
+	U, V int32 // U < V
+	Dist int32
+}
+
+// Compiled is a trace pre-resolved against a pair universe and a distance
+// oracle: each request carries its (PairID, u, v, dist) tuple so replaying
+// the trace — possibly many times, across repetitions and b-sweeps — does
+// no per-request canonicalization or metric lookups.
+type Compiled struct {
+	Name     string
+	NumRacks int
+	Index    *PairIndex
+	Reqs     []CompiledReq
+}
+
+// Len returns the number of requests.
+func (c *Compiled) Len() int { return len(c.Reqs) }
+
+// Compile pre-resolves the trace against dist, the rack-to-rack distance
+// oracle (typically graph.Metric.Dist). It validates the trace first, so a
+// compiled trace never contains out-of-range or self-loop requests.
+func (t *Trace) Compile(dist func(u, v int) int) (*Compiled, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	idx := SharedPairIndex(t.NumRacks)
+	c := &Compiled{
+		Name:     t.Name,
+		NumRacks: t.NumRacks,
+		Index:    idx,
+		Reqs:     make([]CompiledReq, len(t.Reqs)),
+	}
+	for i, r := range t.Reqs {
+		u, v := int(r.Src), int(r.Dst)
+		if u > v {
+			u, v = v, u
+		}
+		d := dist(u, v)
+		if d < 1 {
+			return nil, fmt.Errorf("trace %q: distance %d for pair {%d,%d}, need >= 1", t.Name, d, u, v)
+		}
+		c.Reqs[i] = CompiledReq{ID: idx.ID(u, v), U: int32(u), V: int32(v), Dist: int32(d)}
+	}
+	return c, nil
+}

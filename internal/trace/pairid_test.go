@@ -1,0 +1,111 @@
+package trace
+
+import "testing"
+
+func TestPairIndexRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 40} {
+		x := NewPairIndex(n)
+		if x.NumPairs() != NumPairs(n) {
+			t.Fatalf("n=%d: NumPairs() = %d, want %d", n, x.NumPairs(), NumPairs(n))
+		}
+		id := PairID(0)
+		for u := 0; u < n-1; u++ {
+			for v := u + 1; v < n; v++ {
+				if got := x.ID(u, v); got != id {
+					t.Fatalf("n=%d: ID(%d,%d) = %d, want %d (row-major)", n, u, v, got, id)
+				}
+				if got := x.ID(v, u); got != id {
+					t.Fatalf("n=%d: ID(%d,%d) = %d, want %d (canonicalized)", n, v, u, got, id)
+				}
+				gu, gv := x.Endpoints(id)
+				if gu != u || gv != v {
+					t.Fatalf("n=%d: Endpoints(%d) = (%d,%d), want (%d,%d)", n, id, gu, gv, u, v)
+				}
+				k := MakePairKey(u, v)
+				if x.Key(id) != k {
+					t.Fatalf("n=%d: Key(%d) = %v, want %v", n, id, x.Key(id), k)
+				}
+				if x.IDOfKey(k) != id {
+					t.Fatalf("n=%d: IDOfKey(%v) = %d, want %d", n, k, x.IDOfKey(k), id)
+				}
+				if x.Other(id, u) != v || x.Other(id, v) != u {
+					t.Fatalf("n=%d: Other(%d) wrong", n, id)
+				}
+				id++
+			}
+		}
+	}
+}
+
+// PairID order must coincide with PairKey order: the algorithms' "smallest
+// pair" tie-breaks are expressed in either representation interchangeably.
+func TestPairIDOrderMatchesPairKey(t *testing.T) {
+	const n = 9
+	x := NewPairIndex(n)
+	type entry struct {
+		id PairID
+		k  PairKey
+	}
+	var prev entry
+	for id := 0; id < x.NumPairs(); id++ {
+		cur := entry{PairID(id), x.Key(PairID(id))}
+		if id > 0 && !(prev.id < cur.id == (prev.k < cur.k)) {
+			t.Fatalf("order mismatch between %v and %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestPairIndexPanics(t *testing.T) {
+	x := NewPairIndex(5)
+	for _, f := range []func(){
+		func() { x.ID(2, 2) },
+		func() { x.ID(-1, 3) },
+		func() { x.ID(0, 5) },
+		func() { NewPairIndex(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSharedPairIndexIsShared(t *testing.T) {
+	if SharedPairIndex(17) != SharedPairIndex(17) {
+		t.Fatal("SharedPairIndex(17) returned distinct instances")
+	}
+}
+
+func TestCompile(t *testing.T) {
+	tr := &Trace{Name: "t", NumRacks: 4, Reqs: []Request{{Src: 2, Dst: 1}, {Src: 0, Dst: 3}}}
+	dist := func(u, v int) int { return u + v }
+	ct, err := tr.Compile(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Len() != 2 || ct.NumRacks != 4 {
+		t.Fatalf("compiled shape wrong: %+v", ct)
+	}
+	want := []CompiledReq{
+		{ID: ct.Index.ID(1, 2), U: 1, V: 2, Dist: 3},
+		{ID: ct.Index.ID(0, 3), U: 0, V: 3, Dist: 3},
+	}
+	for i, w := range want {
+		if ct.Reqs[i] != w {
+			t.Errorf("req %d = %+v, want %+v", i, ct.Reqs[i], w)
+		}
+	}
+
+	bad := &Trace{Name: "bad", NumRacks: 4, Reqs: []Request{{Src: 1, Dst: 1}}}
+	if _, err := bad.Compile(dist); err == nil {
+		t.Error("Compile accepted a self-loop")
+	}
+	if _, err := tr.Compile(func(u, v int) int { return 0 }); err == nil {
+		t.Error("Compile accepted a zero distance")
+	}
+}

@@ -3,6 +3,19 @@
 // Microsoft datacenter traces, trace file I/O, and the complexity statistics
 // (spatial skew, temporal locality) that explain the algorithms' relative
 // performance in the evaluation.
+//
+// Pairs have three interchangeable representations: (u,v) endpoints, the
+// canonical PairKey (u<<32|v with u < v), and the dense PairID — a
+// row-major int32 index over the n·(n−1)/2 unordered pairs of a fixed
+// n-rack universe. PairID is what lets every per-pair table on the request
+// hot path be a flat array; PairIndex translates between the three, and
+// Compiled pre-resolves a whole trace to (PairID, u, v, distance) tuples
+// so replays do no per-request work. PairID order equals PairKey order, a
+// property the algorithms' deterministic tie-breaks rely on.
+//
+// Reproducibility: every generator is parameterized by an explicit seed
+// and draws only from stats.Rand, so a (generator, seed) pair denotes one
+// exact trace, on any platform and Go version.
 package trace
 
 import (

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"obm/internal/sim"
+)
+
+// gridMain implements the `experiments grid` subcommand: it selects
+// scenarios (registered presets, names, or a JSON file), expands the
+// (scenario × algorithm × b × rep) job grid, and executes it on the worker
+// pool with streamed, bounded-memory replay.
+func gridMain(args []string) {
+	fs := flag.NewFlagSet("experiments grid", flag.ExitOnError)
+	var (
+		file     = fs.String("scenarios", "", "JSON file with a scenario list ([{...}]); empty = registered presets")
+		names    = fs.String("scenario", "", "comma-separated registered scenario names (default: all presets)")
+		list     = fs.Bool("list", false, "list registered scenarios, families and algorithms, then exit")
+		scale    = fs.Float64("scale", 1.0, "request-count scale factor in (0,1]")
+		reps     = fs.Int("reps", 0, "override repetitions per job (0 = per-spec value)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		chunk    = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
+		outdir   = fs.String("outdir", "results", "directory for grid.csv / grid.json output")
+		format   = fs.String("format", "csv", "output format: csv, json, or both")
+		progress = fs.Bool("progress", true, "print per-job progress to stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: experiments grid [flags]\n\n"+
+			"Runs named scenario specs through the grid scheduler with streamed,\n"+
+			"bounded-memory trace replay. Scenarios come from the built-in registry\n"+
+			"(-scenario name,... selects a subset) or a JSON file (-scenarios).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *list {
+		fmt.Println("scenarios:")
+		for _, s := range sim.Scenarios() {
+			fmt.Printf("  %-26s family=%-18s racks=%-4d requests=%-8d bs=%v reps=%d\n",
+				s.Name, s.Family, s.Racks, s.Requests, s.Bs, s.Reps)
+		}
+		fmt.Printf("families:   %s\n", strings.Join(sim.Families(), ", "))
+		fmt.Printf("algorithms: %s\n", strings.Join(sim.Algorithms(), ", "))
+		return
+	}
+
+	specs, err := selectScenarios(*file, *names)
+	if err != nil {
+		fatal(err)
+	}
+	if *scale <= 0 || *scale > 1 {
+		fatal(fmt.Errorf("grid: -scale %v out of (0,1]", *scale))
+	}
+	for i := range specs {
+		if *scale < 1 {
+			// Scale down with a 1000-request floor — but never scale a
+			// spec up past its own size.
+			scaled := int(float64(specs[i].Requests) * *scale)
+			scaled = max(scaled, min(1000, specs[i].Requests))
+			specs[i].Requests = scaled
+		}
+		if *reps > 0 {
+			specs[i].Reps = *reps
+		}
+	}
+
+	opt := sim.GridOptions{Workers: *workers, ChunkSize: *chunk}
+	if *progress {
+		opt.Progress = func(done, total int, job sim.GridJob, err error) {
+			status := "ok"
+			if err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s\n", done, total, job, status)
+		}
+	}
+	start := time.Now()
+	res, err := sim.RunGrid(specs, opt)
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range res.SummaryRows() {
+		fmt.Println("  " + row)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	if *format == "csv" || *format == "both" {
+		if err := writeGridFile(res.WriteCSV, filepath.Join(*outdir, "grid.csv")); err != nil {
+			fatal(err)
+		}
+	}
+	if *format == "json" || *format == "both" {
+		if err := writeGridFile(res.WriteJSON, filepath.Join(*outdir, "grid.json")); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("  grid: %d rows in %.1fs\n", len(res.Rows), time.Since(start).Seconds())
+}
+
+// selectScenarios resolves the -scenarios / -scenario flags into specs.
+func selectScenarios(file, names string) ([]sim.ScenarioSpec, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return sim.ReadScenarios(f)
+	}
+	if names == "" {
+		return sim.Scenarios(), nil
+	}
+	var specs []sim.ScenarioSpec
+	for _, name := range strings.Split(names, ",") {
+		spec, err := sim.ScenarioByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func writeGridFile(write func(w io.Writer) error, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}

@@ -10,6 +10,13 @@
 //
 // The full-scale run (-scale 1.0) replays up to 1.75M requests per figure;
 // use -scale 0.1 for a quick pass.
+//
+// The grid subcommand runs named scenario specs — beyond the paper's
+// figures — through the scenario-grid scheduler with streamed,
+// bounded-memory trace replay:
+//
+//	experiments grid [-list] [-scenario name,…] [-scenarios file.json]
+//	                 [-scale 1.0] [-workers 0] [-outdir results] [-format csv]
 package main
 
 import (
@@ -24,6 +31,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "grid" {
+		gridMain(os.Args[2:])
+		return
+	}
 	var (
 		figureID = flag.String("figure", "all", "figure to run (fig1a…fig4c, ext-…), 'all' (paper figures), or 'extras'")
 		scale    = flag.Float64("scale", 1.0, "request-count scale factor in (0,1]")

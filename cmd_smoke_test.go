@@ -96,6 +96,41 @@ func TestCmdExperimentsSmoke(t *testing.T) {
 	}
 }
 
+func TestCmdExperimentsGridSmoke(t *testing.T) {
+	bin := buildBinary(t, "cmd/experiments")
+	out := run(t, bin, "grid", "-list")
+	for _, want := range []string{"scenarios:", "families:", "diurnal", "hotspot", "tenant-mix", "algorithms:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid -list output missing %q:\n%s", want, out)
+		}
+	}
+	outdir := t.TempDir()
+	out = run(t, bin, "grid", "-scenario", "hotspot-migration,diurnal-swing",
+		"-scale", "0.02", "-reps", "1", "-workers", "2", "-outdir", outdir,
+		"-format", "both", "-progress=false")
+	for _, want := range []string{"hotspot-migration", "diurnal-swing", "grid:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid output missing %q:\n%s", want, out)
+		}
+	}
+	for _, name := range []string{"grid.csv", "grid.json"} {
+		info, err := os.Stat(filepath.Join(outdir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("grid output %s missing or empty (err=%v)", name, err)
+		}
+	}
+	// A JSON scenario file must drive the same path.
+	specFile := filepath.Join(t.TempDir(), "specs.json")
+	spec := `[{"name":"tiny","family":"uniform","racks":8,"requests":2000,"seed":1,"bs":[2],"reps":1,"algs":["bma"]}]`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, bin, "grid", "-scenarios", specFile, "-outdir", t.TempDir(), "-progress=false")
+	if !strings.Contains(out, "tiny") {
+		t.Errorf("grid -scenarios output missing scenario name:\n%s", out)
+	}
+}
+
 func TestExamplesSmoke(t *testing.T) {
 	examples, err := filepath.Glob("examples/*")
 	if err != nil {

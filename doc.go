@@ -9,7 +9,7 @@
 // the figures. The library lives under internal/; the runnable entry
 // points are cmd/ and examples/.
 //
-// Two cross-cutting design decisions shape the request hot path:
+// Three cross-cutting design decisions shape the request hot path:
 //
 // Dense pair index. The pair universe — n·(n−1)/2 unordered rack pairs —
 // is known up front, so per-pair state lives in flat arrays indexed by
@@ -19,9 +19,21 @@
 // matching.BMatching, R-BMA and BMA keep counters, incidence and
 // membership in arrays and bitsets.
 //
+// Streaming replay. Workload generators are resumable trace.Streams,
+// compiled against the metric chunk by chunk through trace.Source, so a
+// 10⁸-request scenario replays under O(chunk) memory instead of O(T). The
+// materialized Trace/Compiled path is the trivial adapter case of the same
+// interface, and both produce bit-identical cost curves. The scenario-grid
+// scheduler (sim.ScenarioSpec, sim.RunGrid, `experiments grid`) expands
+// named JSON-encodable scenario specs — including the diurnal, hotspot-
+// migration and tenant-mix families beyond the paper — into a (scenario ×
+// algorithm × b × rep) job grid on a worker pool.
+//
 // Seed reproducibility. Every randomized component draws from a stats.Rand
 // seeded explicitly; identical seeds give bit-for-bit identical runs,
 // independent of Go version, map iteration order, or internal
 // representation. The golden suite in internal/core pins the algorithms'
-// exact cost curves across trace families.
+// exact cost curves across trace families, and resumable generators extend
+// the contract: Reset rewinds a stream bit-identically, and request
+// sequences are independent of the chunk sizes used to read them.
 package obm

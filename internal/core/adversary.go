@@ -53,3 +53,69 @@ func AdaptiveAdversary(target Algorithm, nLeaves, blocks, blockLen int) (*trace.
 		Reqs:     reqs,
 	}, nil
 }
+
+// adversaryStream is the resumable trace.Stream form of AdaptiveAdversary:
+// blocks are generated lazily as the stream is read, and the target is
+// served (and consulted) request by request, so an adversarial workload of
+// any length occupies O(1) memory. Reset rewinds by resetting the target to
+// its initial empty-matching state; for a deterministic target the replayed
+// sequence is bit-identical.
+type adversaryStream struct {
+	target           Algorithm
+	nLeaves          int
+	blocks, blockLen int
+	pos              int
+	leaf             int // leaf of the current block
+}
+
+// NewAdversaryStream returns AdaptiveAdversary as a resumable stream over
+// target. The target must be freshly constructed (or Reset): the stream
+// assumes it starts from the empty matching, and Reset restores that state
+// via target.Reset.
+func NewAdversaryStream(target Algorithm, nLeaves, blocks, blockLen int) (trace.Stream, error) {
+	if nLeaves < 2 {
+		return nil, fmt.Errorf("core: adversary needs nLeaves >= 2")
+	}
+	if blocks < 1 || blockLen < 1 {
+		return nil, fmt.Errorf("core: adversary needs blocks, blockLen >= 1")
+	}
+	return &adversaryStream{target: target, nLeaves: nLeaves, blocks: blocks, blockLen: blockLen}, nil
+}
+
+func (s *adversaryStream) Name() string {
+	return fmt.Sprintf("adversary(star %d leaves)", s.nLeaves)
+}
+func (s *adversaryStream) NumRacks() int { return s.nLeaves + 1 }
+func (s *adversaryStream) Len() int      { return s.blocks * s.blockLen }
+
+func (s *adversaryStream) Reset() {
+	s.target.Reset()
+	s.pos = 0
+	s.leaf = 0
+}
+
+func (s *adversaryStream) Next(buf []trace.Request) int {
+	n := 0
+	for n < len(buf) && s.pos < s.blocks*s.blockLen {
+		if s.pos%s.blockLen == 0 {
+			// Block start: pick an unmatched hub–leaf pair, exactly as
+			// AdaptiveAdversary does.
+			blk := s.pos / s.blockLen
+			s.leaf = -1
+			for cand := 1; cand <= s.nLeaves; cand++ {
+				if !s.target.Matched(0, cand) {
+					s.leaf = cand
+					break
+				}
+			}
+			if s.leaf == -1 {
+				s.leaf = 1 + blk%s.nLeaves
+			}
+		}
+		buf[n] = trace.Request{Src: 0, Dst: int32(s.leaf)}
+		s.target.Serve(0, s.leaf)
+		s.pos++
+		n++
+	}
+	return n
+}

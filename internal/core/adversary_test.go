@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"obm/internal/graph"
+	"obm/internal/trace"
 )
 
 func TestAdaptiveAdversaryValidation(t *testing.T) {
@@ -82,5 +83,50 @@ func TestAdversaryRotatesWhenFullyMatchable(t *testing.T) {
 	}
 	if tr.Len() != 120 {
 		t.Fatalf("trace length %d, want 120", tr.Len())
+	}
+}
+
+func TestAdversaryStreamMatchesAdaptiveAdversary(t *testing.T) {
+	// The streaming adversary must issue the exact request sequence of the
+	// materialized one when driven against an identically constructed
+	// deterministic target, and Reset must reproduce it.
+	top := graph.Star(6)
+	model := CostModel{Metric: top.Metric(), Alpha: 4}
+	mat, _ := NewBMA(top.NumRacks(), 2, model)
+	want, err := AdaptiveAdversary(mat, 6, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := NewBMA(top.NumRacks(), 2, model)
+	s, err := NewAdversaryStream(target, 6, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := func() []trace.Request {
+		var out []trace.Request
+		buf := make([]trace.Request, 7) // ragged batches across block bounds
+		for {
+			n := s.Next(buf)
+			if n == 0 {
+				return out
+			}
+			out = append(out, buf[:n]...)
+		}
+	}
+	got := drain()
+	if len(got) != want.Len() {
+		t.Fatalf("stream produced %d requests, want %d", len(got), want.Len())
+	}
+	for i := range got {
+		if got[i] != want.Reqs[i] {
+			t.Fatalf("request %d = %v, want %v", i, got[i], want.Reqs[i])
+		}
+	}
+	s.Reset()
+	again := drain()
+	for i := range again {
+		if again[i] != want.Reqs[i] {
+			t.Fatalf("after Reset, request %d = %v, want %v", i, again[i], want.Reqs[i])
+		}
 	}
 }

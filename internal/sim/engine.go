@@ -12,6 +12,15 @@
 // cost-identical to replaying the raw trace: algorithms that implement
 // core.CompiledServer take the dense fast path, everything else falls back
 // to Serve(u, v).
+//
+// Replay also runs streamed: RunSource consumes a trace.Source in
+// fixed-size chunks, so arbitrarily long workloads replay under O(chunk)
+// memory with cost curves bit-identical to the materialized path. On top
+// sits the scenario-grid scheduler (ScenarioSpec, RunGrid): named,
+// JSON-encodable scenario specs expanded into a (scenario × algorithm ×
+// b × rep) job grid, executed by a worker pool where every job owns its
+// streaming source, with repetitions aggregated into stats.Summary rows
+// and CSV/JSON output.
 package sim
 
 import (

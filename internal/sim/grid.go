@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"obm/internal/core"
+	"obm/internal/stats"
+	"obm/internal/trace"
+)
+
+// The scenario-grid scheduler: a list of ScenarioSpecs is expanded into a
+// (scenario × algorithm × b × rep) job grid and executed by a worker pool.
+// Every job builds its own streaming source, so memory is O(workers ×
+// chunk) regardless of trace lengths, and jobs never share mutable state.
+// Repetitions of one (scenario, algorithm, b) cell are aggregated into a
+// stats.Summary row.
+
+// GridJob identifies one cell-repetition of the grid.
+type GridJob struct {
+	Scenario string
+	Alg      string
+	B        int
+	Rep      int
+}
+
+func (j GridJob) String() string {
+	return fmt.Sprintf("%s/%s(b=%d)/rep=%d", j.Scenario, j.Alg, j.B, j.Rep)
+}
+
+// GridOptions tunes the grid scheduler.
+type GridOptions struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ChunkSize is the streaming chunk capacity per worker
+	// (trace.DefaultChunkSize if <= 0).
+	ChunkSize int
+	// Progress, when non-nil, is called after every finished job with the
+	// completion count. Callbacks are serialized; err is the job's error
+	// (nil on success).
+	Progress func(done, total int, job GridJob, err error)
+}
+
+// GridRow is one aggregated cell: the final costs of one (scenario,
+// algorithm, b) combination summarized over its repetitions.
+type GridRow struct {
+	Scenario string
+	Family   string
+	Alg      string
+	B        int
+	Requests int
+	Racks    int
+	// Final cumulative costs across repetitions.
+	Routing  stats.Summary
+	Reconfig stats.Summary
+	Total    stats.Summary
+	// ElapsedMS summarizes per-repetition decision-loop wall time.
+	ElapsedMS stats.Summary
+}
+
+// GridResult collects every aggregated row of a grid run, in deterministic
+// (spec, algorithm, b) order.
+type GridResult struct {
+	Rows []GridRow
+}
+
+// gridCell accumulates one row's repetitions.
+type gridCell struct {
+	row      GridRow
+	routing  []float64
+	reconfig []float64
+	total    []float64
+	elapsed  []float64
+}
+
+// RunGrid validates the specs, expands the job grid and executes it on the
+// worker pool. All job errors are collected and joined; after the first
+// failure no new jobs are started (in-flight jobs finish). On error the
+// partial result is discarded.
+func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: RunGrid with no scenarios")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("sim: duplicate scenario name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+	}
+
+	// Expand the grid. Cells are created in deterministic order; jobs
+	// reference their cell by index. The cost model (an O(racks²) metric
+	// construction) is built once per scenario and shared by its jobs.
+	type job struct {
+		GridJob
+		spec  ScenarioSpec
+		model core.CostModel
+		alg   AlgSpec
+		cell  int
+	}
+	var jobs []job
+	var cells []*gridCell
+	for _, spec := range specs {
+		spec := spec.withDefaults()
+		model := spec.Model()
+		for _, algName := range spec.Algs {
+			as, err := spec.algSpec(algName, model)
+			if err != nil {
+				return nil, err
+			}
+			bs := spec.Bs
+			if as.FixedB >= 0 {
+				bs = []int{as.FixedB}
+			}
+			for _, b := range bs {
+				cells = append(cells, &gridCell{row: GridRow{
+					Scenario: spec.Name,
+					Family:   spec.Family,
+					Alg:      algName,
+					B:        b,
+					Requests: spec.Requests,
+					Racks:    spec.Racks,
+				}})
+				for rep := 0; rep < spec.Reps; rep++ {
+					jobs = append(jobs, job{
+						GridJob: GridJob{Scenario: spec.Name, Alg: algName, B: b, Rep: rep},
+						spec:    spec,
+						model:   model,
+						alg:     as,
+						cell:    len(cells) - 1,
+					})
+				}
+			}
+		}
+	}
+
+	type jobResult struct {
+		routing  float64
+		reconfig float64
+		elapsed  time.Duration
+	}
+	results := make([]jobResult, len(jobs))
+	var (
+		mu   sync.Mutex // serializes Progress callbacks
+		done int
+	)
+	err := runPool(len(jobs), opt.Workers, func() func(int) error {
+		// Per-worker scratch: one chunk and one result buffer reused
+		// across every job — the bounded-memory contract.
+		chunk := trace.NewChunk(opt.ChunkSize)
+		var res RunResult
+		return func(ji int) error {
+			j := &jobs[ji]
+			err := runGridJob(j.spec, j.model, j.alg, j.GridJob, chunk, &res)
+			if err != nil {
+				err = fmt.Errorf("sim: grid %s: %w", j.GridJob, err)
+			} else {
+				r := &results[ji]
+				if n := len(res.Series.Routing); n > 0 {
+					r.routing = res.Series.Routing[n-1]
+					r.reconfig = res.Series.Reconfig[n-1]
+				}
+				r.elapsed = res.Elapsed
+			}
+			if opt.Progress != nil {
+				mu.Lock()
+				done++
+				opt.Progress(done, len(jobs), j.GridJob, err)
+				mu.Unlock()
+			}
+			return err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate repetitions into rows.
+	for i := range results {
+		r := &results[i]
+		c := cells[jobs[i].cell]
+		c.routing = append(c.routing, r.routing)
+		c.reconfig = append(c.reconfig, r.reconfig)
+		c.total = append(c.total, r.routing+r.reconfig)
+		c.elapsed = append(c.elapsed, float64(r.elapsed)/float64(time.Millisecond))
+	}
+	out := &GridResult{Rows: make([]GridRow, 0, len(cells))}
+	for _, c := range cells {
+		c.row.Routing = stats.Summarize(c.routing)
+		c.row.Reconfig = stats.Summarize(c.reconfig)
+		c.row.Total = stats.Summarize(c.total)
+		c.row.ElapsedMS = stats.Summarize(c.elapsed)
+		out.Rows = append(out.Rows, c.row)
+	}
+	return out, nil
+}
+
+// runGridJob replays one grid job: it builds the job's own streaming
+// source (workers never share generator state) against the scenario's
+// pre-built model and records the final cumulative costs via the single
+// end-of-trace checkpoint.
+func runGridJob(spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, chunk *trace.CompiledChunk, res *RunResult) error {
+	st, err := spec.NewStream()
+	if err != nil {
+		return err
+	}
+	src, err := trace.NewSource(st, model.Metric.Dist)
+	if err != nil {
+		return err
+	}
+	alg, err := as.New(j.B, uint64(j.Rep))
+	if err != nil {
+		return err
+	}
+	cps := []int{src.Len()}
+	if src.Len() == 0 {
+		cps = nil
+	}
+	return runSourceInto(res, alg, src, spec.Alpha, cps, chunk)
+}
+
+// WriteCSV emits the grid result as tidy CSV, one row per aggregated cell.
+func (g *GridResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "scenario,family,alg,b,racks,requests,reps,"+
+		"routing_mean,routing_std,reconfig_mean,reconfig_std,total_mean,total_std,elapsed_ms_mean"); err != nil {
+		return err
+	}
+	for _, r := range g.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.3f\n",
+			r.Scenario, r.Family, r.Alg, r.B, r.Racks, r.Requests, r.Routing.N,
+			r.Routing.Mean, r.Routing.Std, r.Reconfig.Mean, r.Reconfig.Std,
+			r.Total.Mean, r.Total.Std, r.ElapsedMS.Mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the grid result as JSON.
+func (g *GridResult) WriteJSON(w io.Writer) error {
+	type jsonRow struct {
+		Scenario  string        `json:"scenario"`
+		Family    string        `json:"family"`
+		Alg       string        `json:"alg"`
+		B         int           `json:"b"`
+		Racks     int           `json:"racks"`
+		Requests  int           `json:"requests"`
+		Routing   stats.Summary `json:"routing_cost"`
+		Reconfig  stats.Summary `json:"reconfig_cost"`
+		Total     stats.Summary `json:"total_cost"`
+		ElapsedMS stats.Summary `json:"elapsed_ms"`
+	}
+	out := struct {
+		Rows []jsonRow `json:"rows"`
+	}{Rows: make([]jsonRow, 0, len(g.Rows))}
+	for _, r := range g.Rows {
+		out.Rows = append(out.Rows, jsonRow{
+			Scenario: r.Scenario, Family: r.Family, Alg: r.Alg, B: r.B,
+			Racks: r.Racks, Requests: r.Requests,
+			Routing: r.Routing, Reconfig: r.Reconfig, Total: r.Total,
+			ElapsedMS: r.ElapsedMS,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SummaryRows renders one aligned text line per aggregated cell.
+func (g *GridResult) SummaryRows() []string {
+	rows := make([]string, 0, len(g.Rows))
+	for _, r := range g.Rows {
+		rows = append(rows, fmt.Sprintf("%-24s %-10s b=%-3d routing=%.3e±%.1e total=%.3e  time=%8.2fms",
+			r.Scenario, r.Alg, r.B, r.Routing.Mean, r.Routing.Std, r.Total.Mean, r.ElapsedMS.Mean))
+	}
+	return rows
+}
+
+// ReadScenarios decodes a JSON scenario list ([{...}, ...]) from r.
+func ReadScenarios(r io.Reader) ([]ScenarioSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var specs []ScenarioSpec
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("sim: decoding scenarios: %w", err)
+	}
+	return specs, nil
+}

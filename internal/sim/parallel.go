@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"obm/internal/core"
 )
@@ -15,18 +13,19 @@ import (
 // inflate under CPU contention — use the sequential RunExperiment for the
 // execution-time figures, and this for cost-only sweeps.
 // workers <= 0 selects GOMAXPROCS.
+//
+// On failure every job error is reported (joined with errors.Join, in job
+// order), not just the first: after the first failure no further jobs are
+// started, but already-running jobs finish and their errors are collected
+// too.
 func RunExperimentParallel(cfg Config, specs []AlgSpec, workers int) (*Result, error) {
 	ct, err := cfg.compile()
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	type job struct {
-		spec  AlgSpec
-		b     int
-		index int
+		spec AlgSpec
+		b    int
 	}
 	var jobs []job
 	for _, spec := range specs {
@@ -35,38 +34,25 @@ func RunExperimentParallel(cfg Config, specs []AlgSpec, workers int) (*Result, e
 			bs = []int{spec.FixedB}
 		}
 		for _, b := range bs {
-			jobs = append(jobs, job{spec: spec, b: b, index: len(jobs)})
+			jobs = append(jobs, job{spec: spec, b: b})
 		}
 	}
 	curves := make([]Curve, len(jobs))
-	errs := make([]error, len(jobs))
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var sc scratch // per-worker: reused across every job and repetition
-			for j := range ch {
-				f := func(rep uint64) (core.Algorithm, error) { return j.spec.New(j.b, rep) }
-				avg, err := runAveragedCompiled(f, ct, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps, &sc)
-				if err != nil {
-					errs[j.index] = fmt.Errorf("sim: %s/%s(b=%d): %w", cfg.Name, j.spec.Name, j.b, err)
-					continue
-				}
-				curves[j.index] = Curve{Alg: j.spec.Name, B: j.b, Avg: avg}
+	err = runPool(len(jobs), workers, func() func(int) error {
+		var sc scratch // per-worker: reused across every job and repetition
+		return func(ji int) error {
+			j := jobs[ji]
+			f := func(rep uint64) (core.Algorithm, error) { return j.spec.New(j.b, rep) }
+			avg, err := runAveragedCompiled(f, ct, cfg.Model.Alpha, cfg.Checkpoints, cfg.Reps, &sc)
+			if err != nil {
+				return fmt.Errorf("sim: %s/%s(b=%d): %w", cfg.Name, j.spec.Name, j.b, err)
 			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			curves[ji] = Curve{Alg: j.spec.Name, B: j.b, Avg: avg}
+			return nil
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{Name: cfg.Name, Curves: curves}, nil
 }

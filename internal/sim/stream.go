@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"obm/internal/core"
+	"obm/internal/trace"
+)
+
+// Streamed replay: the chunked twin of the materialized replay loops in
+// engine.go. A trace.Source delivers compiled requests in fixed-size
+// chunks, so a replay of any length holds O(chunk) requests in memory; the
+// per-request decision loop is byte-for-byte the one RunCompiled runs, so
+// cost curves are bit-identical to materialized replay (pinned by
+// stream_golden_test.go).
+
+// SourceFactory builds a fresh trace.Source. The grid scheduler calls it
+// once per job so parallel workers never share generator state; each source
+// must be an independent, identically seeded stream.
+type SourceFactory func() (trace.Source, error)
+
+// RunSource replays src through alg in chunks of chunkSize requests
+// (trace.DefaultChunkSize if <= 0), resetting the source first. Cost
+// curves are bit-identical to RunCompiled over the materialized trace.
+func RunSource(alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunkSize int) (RunResult, error) {
+	var res RunResult
+	if err := runSourceInto(&res, alg, src, alpha, checkpoints, trace.NewChunk(chunkSize)); err != nil {
+		return RunResult{}, err
+	}
+	return res, nil
+}
+
+// runSourceInto is RunSource writing into reusable result and chunk
+// buffers: a (result, chunk) pair recycled across repetitions stops
+// allocating once warm, which is what keeps streamed replay O(chunk).
+func runSourceInto(res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk) error {
+	if err := validateCheckpoints(checkpoints, src.Len()); err != nil {
+		return err
+	}
+	src.Reset()
+	res.reset(alg.Name())
+	m := newCostMeter(res, checkpoints, alpha)
+	cs, compiled := alg.(core.CompiledServer)
+	i := 0
+	// Elapsed covers the decision loops only — generation and chunk
+	// compilation inside src.Next are excluded, so the measurement matches
+	// the materialized path (which times the Serve loop over a
+	// pre-compiled trace) and stays comparable to the paper's
+	// execution-time figures. The two clock reads per chunk are noise
+	// against thousands of Serve calls.
+	var elapsed time.Duration
+	for {
+		n, err := src.Next(chunk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if compiled {
+			for _, req := range chunk.Reqs[:n] {
+				m.step(cs.ServeCompiled(req))
+				if i+1 == m.nextCP {
+					m.checkpoint(i)
+				}
+				i++
+			}
+		} else {
+			for _, req := range chunk.Reqs[:n] {
+				m.step(alg.Serve(int(req.U), int(req.V)))
+				if i+1 == m.nextCP {
+					m.checkpoint(i)
+				}
+				i++
+			}
+		}
+		elapsed += time.Since(start)
+	}
+	res.Elapsed = elapsed
+	if i != src.Len() {
+		return fmt.Errorf("sim: source %q produced %d requests, declared %d", src.Name(), i, src.Len())
+	}
+	m.finish()
+	res.FinalMatchingSize = alg.MatchingSize()
+	return nil
+}
+
+// RunAveragedSource replays src through reps independent algorithm
+// instances (resetting the source per repetition) and averages the curves.
+func RunAveragedSource(f AlgFactory, src trace.Source, alpha float64, checkpoints []int, reps, chunkSize int) (Averaged, error) {
+	chunk := trace.NewChunk(chunkSize)
+	return runAveraged(f, reps, nil, func(res *RunResult, alg core.Algorithm) error {
+		return runSourceInto(res, alg, src, alpha, checkpoints, chunk)
+	})
+}

@@ -79,6 +79,34 @@ func Gini(xs []float64) float64 {
 	return (2*cum/(float64(n)*total) - float64(n+1)/float64(n))
 }
 
+// Summary is the aggregate of one metric over a set of repetitions: the
+// row format of the scenario-grid runner. The zero value is the summary of
+// an empty sample.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"` // population standard deviation
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize aggregates xs into a Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs[1:] {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
 // Entropy returns the Shannon entropy (bits) of a discrete distribution
 // given by non-negative weights (not necessarily normalized).
 // Returns 0 for empty or all-zero input.

@@ -172,3 +172,20 @@ func TestBurstChainPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if want := StdDev([]float64{4, 1, 3, 2}); s.Std != want {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty Summarize = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.N != 1 || one.Mean != 7 || one.Std != 0 || one.Min != 7 || one.Max != 7 {
+		t.Fatalf("single-sample Summarize = %+v", one)
+	}
+}

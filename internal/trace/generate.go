@@ -1,10 +1,6 @@
 package trace
 
-import (
-	"fmt"
-
-	"obm/internal/stats"
-)
+import "fmt"
 
 // FacebookParams controls the Facebook-style synthetic generator. The
 // generator reproduces the two trace properties the paper's evaluation
@@ -56,61 +52,15 @@ func (p *FacebookParams) Validate() error {
 	return nil
 }
 
-// FacebookStyle generates a synthetic trace with the given parameters.
+// FacebookStyle generates a synthetic trace with the given parameters. It
+// is the materialized form of NewFacebookStream: the stream is drained into
+// a Trace, so both yield bit-identical request sequences.
 func FacebookStyle(p FacebookParams) (*Trace, error) {
-	if err := p.Validate(); err != nil {
+	s, err := NewFacebookStream(p)
+	if err != nil {
 		return nil, err
 	}
-	r := stats.NewRand(p.Seed)
-	n := p.Racks
-	nPairs := n * (n - 1) / 2
-
-	// Global spatial distribution: Zipf over a random permutation of all
-	// pairs (so that popular pairs are spread across the fabric rather than
-	// clustered at low rack ids).
-	zipf := stats.NewZipf(nPairs, p.ZipfSkew)
-	perm := r.Perm(nPairs)
-	pairAt := func(rank int) (int, int) {
-		return pairFromIndex(perm[rank], n)
-	}
-	drawGlobal := func() (int, int) { return pairAt(zipf.Sample(r)) }
-
-	// Working set of active pairs.
-	type pair struct{ u, v int }
-	ws := make([]pair, p.WorkingSet)
-	for i := range ws {
-		u, v := drawGlobal()
-		ws[i] = pair{u, v}
-	}
-
-	burst := stats.NewBurstChain(p.BurstProb, p.BurstLen)
-	burst.Reset(r)
-
-	reqs := make([]Request, p.Requests)
-	var prev pair
-	havePrev := false
-	for i := range reqs {
-		var cur pair
-		if burst.Step(r) && havePrev {
-			cur = prev
-		} else if r.Bool(p.WorkingSetProb) {
-			cur = ws[r.Intn(len(ws))]
-		} else {
-			u, v := drawGlobal()
-			cur = pair{u, v}
-		}
-		reqs[i] = Request{Src: int32(cur.u), Dst: int32(cur.v)}
-		prev, havePrev = cur, true
-		if r.Bool(p.ChurnProb) {
-			u, v := drawGlobal()
-			ws[r.Intn(len(ws))] = pair{u, v}
-		}
-	}
-	name := p.Name
-	if name == "" {
-		name = fmt.Sprintf("facebook-style(n=%d,s=%.2f)", n, p.ZipfSkew)
-	}
-	return &Trace{Name: name, NumRacks: n, Reqs: reqs}, nil
+	return Collect(s), nil
 }
 
 // pairFromIndex maps a linear index in [0, n(n-1)/2) to the unordered pair
@@ -200,27 +150,22 @@ func FacebookPreset(c Cluster, racks int, seed uint64) FacebookParams {
 // (paper: 50 racks, 1.75e6 requests). The trace has spatial skew but, by
 // construction, no temporal structure.
 func MicrosoftStyle(n, count int, seed uint64) *Trace {
-	m := SkewedMatrix(n, 1.0, n/2, 8, seed)
-	t := m.SampleIID(count, seed+1)
-	t.Name = "microsoft"
-	return t
+	s, err := NewMicrosoftStream(n, count, seed)
+	if err != nil {
+		panic(err) // matches the historical behavior: bad n panicked in SkewedMatrix
+	}
+	return Collect(s)
 }
 
 // Uniform generates count requests drawn uniformly at random from all rack
 // pairs: the unstructured baseline workload (worst case for demand-aware
 // reconfiguration).
 func Uniform(n, count int, seed uint64) *Trace {
-	r := stats.NewRand(seed)
-	reqs := make([]Request, count)
-	for i := range reqs {
-		u := r.Intn(n)
-		v := r.Intn(n)
-		for u == v {
-			v = r.Intn(n)
-		}
-		reqs[i] = Request{Src: int32(u), Dst: int32(v)}
+	s, err := NewUniformStream(n, count, seed)
+	if err != nil {
+		panic(err) // matches the historical behavior: bad n panicked in Intn
 	}
-	return &Trace{Name: fmt.Sprintf("uniform(n=%d)", n), NumRacks: n, Reqs: reqs}
+	return Collect(s)
 }
 
 // PhaseShift generates a workload whose communication pattern changes
@@ -230,43 +175,20 @@ func Uniform(n, count int, seed uint64) *Trace {
 // adaptive online algorithms re-converge — the scenario behind the paper's
 // motivation for *dynamic* reconfiguration.
 func PhaseShift(n, count, phases int, seed uint64) (*Trace, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("trace: PhaseShift requires n >= 2")
+	s, err := NewPhaseShiftStream(n, count, phases, seed)
+	if err != nil {
+		return nil, err
 	}
-	if count < phases || phases < 1 {
-		return nil, fmt.Errorf("trace: PhaseShift requires count >= phases >= 1")
-	}
-	reqs := make([]Request, 0, count)
-	per := count / phases
-	for ph := 0; ph < phases; ph++ {
-		cnt := per
-		if ph == phases-1 {
-			cnt = count - per*(phases-1)
-		}
-		m := SkewedMatrix(n, 1.2, n/2, 10, seed+uint64(ph)*0x9e37)
-		part := m.SampleIID(cnt, seed+uint64(ph)*0x79b9+1)
-		reqs = append(reqs, part.Reqs...)
-	}
-	return &Trace{
-		Name:     fmt.Sprintf("phase-shift(n=%d,p=%d)", n, phases),
-		NumRacks: n,
-		Reqs:     reqs,
-	}, nil
+	return Collect(s), nil
 }
 
 // Permutation generates count requests that cycle through a fixed random
 // perfect matching of racks: the ideal workload for a reconfigurable
 // network (every rack talks to exactly one partner). n must be even.
 func Permutation(n, count int, seed uint64) *Trace {
-	if n%2 != 0 {
-		panic("trace: Permutation requires even n")
+	s, err := NewPermutationStream(n, count, seed)
+	if err != nil {
+		panic(err) // matches the historical behavior: odd n panicked here
 	}
-	r := stats.NewRand(seed)
-	perm := r.Perm(n)
-	reqs := make([]Request, count)
-	for i := range reqs {
-		k := (i % (n / 2)) * 2
-		reqs[i] = Request{Src: int32(perm[k]), Dst: int32(perm[k+1])}
-	}
-	return &Trace{Name: fmt.Sprintf("permutation(n=%d)", n), NumRacks: n, Reqs: reqs}
+	return Collect(s)
 }

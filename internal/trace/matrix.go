@@ -113,17 +113,9 @@ func SkewedMatrix(n int, sigma float64, nHot int, boost float64, seed uint64) *T
 // — exactly the construction the paper applies to the Microsoft data set
 // ("we sample from this distribution i.i.d.", §3.1).
 func (m *TrafficMatrix) SampleIID(count int, seed uint64) *Trace {
-	pairs, weights := m.PairWeights()
-	alias := stats.NewAlias(weights)
-	r := stats.NewRand(seed)
-	reqs := make([]Request, count)
-	for i := range reqs {
-		u, v := pairs[alias.Sample(r)].Endpoints()
-		reqs[i] = Request{Src: int32(u), Dst: int32(v)}
+	s, err := NewIIDStream(m, count, seed, "")
+	if err != nil {
+		panic(err) // unreachable for count >= 0
 	}
-	return &Trace{
-		Name:     fmt.Sprintf("iid-matrix(n=%d)", m.n),
-		NumRacks: m.n,
-		Reqs:     reqs,
-	}
+	return Collect(s)
 }

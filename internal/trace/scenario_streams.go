@@ -1,0 +1,356 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"obm/internal/stats"
+)
+
+// This file holds the scenario-grid workload families that go beyond the
+// paper's evaluation: diurnal load swings, migrating hotspots and
+// multi-tenant overlays. All are resumable Streams obeying the same
+// seed-reproducibility contract as the paper-era generators.
+
+// DiurnalParams controls the diurnal load-swing generator: traffic blends
+// between a strongly skewed "peak" pair distribution and a much flatter
+// "off-hours" one, following a sinusoidal day cycle of Period requests.
+// Demand-aware algorithms profit at the peaks and must not thrash through
+// the troughs — the classic datacenter day/night pattern.
+type DiurnalParams struct {
+	Racks    int
+	Requests int
+	Seed     uint64
+	Period   int     // requests per day cycle; <= 0 defaults to Requests/4
+	PeakSkew float64 // Zipf exponent of the daytime distribution (default 1.3)
+	OffSkew  float64 // Zipf exponent of the nighttime distribution (default 0.3)
+	Name     string
+}
+
+func (p *DiurnalParams) withDefaults() DiurnalParams {
+	q := *p
+	if q.Period <= 0 {
+		q.Period = q.Requests / 4
+		if q.Period < 1 {
+			q.Period = 1
+		}
+	}
+	if q.PeakSkew == 0 {
+		q.PeakSkew = 1.3
+	}
+	if q.OffSkew == 0 {
+		q.OffSkew = 0.3
+	}
+	if q.Name == "" {
+		q.Name = fmt.Sprintf("diurnal(n=%d,period=%d)", q.Racks, q.Period)
+	}
+	return q
+}
+
+// Validate reports whether the parameters are usable.
+func (p *DiurnalParams) Validate() error {
+	switch {
+	case p.Racks < 2:
+		return fmt.Errorf("trace: DiurnalParams.Racks = %d, need >= 2", p.Racks)
+	case p.Requests < 0:
+		return fmt.Errorf("trace: DiurnalParams.Requests = %d, need >= 0", p.Requests)
+	case p.PeakSkew < 0 || p.OffSkew < 0:
+		return fmt.Errorf("trace: DiurnalParams skews must be >= 0")
+	}
+	return nil
+}
+
+type diurnalStream struct {
+	p         DiurnalParams
+	r         *stats.Rand
+	peak, off *stats.Zipf
+	perm      []int
+	pos       int
+}
+
+// NewDiurnalStream builds the diurnal load-swing stream. Both distributions
+// are Zipf over one shared random permutation of the pair universe, so the
+// peak hotspots are a subset of the off-hours mass rather than disjoint.
+func NewDiurnalStream(p DiurnalParams) (Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	q := p.withDefaults()
+	s := &diurnalStream{
+		p:    q,
+		r:    stats.NewRand(q.Seed),
+		peak: stats.NewZipf(NumPairs(q.Racks), q.PeakSkew),
+		off:  stats.NewZipf(NumPairs(q.Racks), q.OffSkew),
+	}
+	s.Reset()
+	return s, nil
+}
+
+func (s *diurnalStream) Name() string  { return s.p.Name }
+func (s *diurnalStream) NumRacks() int { return s.p.Racks }
+func (s *diurnalStream) Len() int      { return s.p.Requests }
+
+func (s *diurnalStream) Reset() {
+	s.r.Seed(s.p.Seed)
+	s.perm = s.r.Perm(NumPairs(s.p.Racks))
+	s.pos = 0
+}
+
+func (s *diurnalStream) Next(buf []Request) int {
+	n := 0
+	for n < len(buf) && s.pos < s.p.Requests {
+		// Peak intensity: 0 at midnight, 1 at noon, sinusoidal in between.
+		phase := 2 * math.Pi * float64(s.pos%s.p.Period) / float64(s.p.Period)
+		intensity := 0.5 - 0.5*math.Cos(phase)
+		var rank int
+		if s.r.Bool(intensity) {
+			rank = s.peak.Sample(s.r)
+		} else {
+			rank = s.off.Sample(s.r)
+		}
+		u, v := pairFromIndex(s.perm[rank], s.p.Racks)
+		buf[n] = Request{Src: int32(u), Dst: int32(v)}
+		s.pos++
+		n++
+	}
+	return n
+}
+
+// HotspotParams controls the hotspot-migration generator: a small set of
+// elephant pairs carries most of the traffic, and the set drifts — every
+// MigrateEvery requests one hotspot is retired and a fresh random pair
+// becomes hot. Online algorithms must track the moving hotspots; static
+// matchings decay as the set walks away from them.
+type HotspotParams struct {
+	Racks        int
+	Requests     int
+	Seed         uint64
+	Hotspots     int     // size of the hot set (default 8)
+	HotProb      float64 // P(request hits the hot set) (default 0.8)
+	MigrateEvery int     // requests between single-hotspot migrations (default 5000)
+	Name         string
+}
+
+func (p *HotspotParams) withDefaults() HotspotParams {
+	q := *p
+	if q.Hotspots == 0 {
+		q.Hotspots = 8
+	}
+	if q.HotProb == 0 {
+		q.HotProb = 0.8
+	}
+	if q.MigrateEvery == 0 {
+		q.MigrateEvery = 5000
+	}
+	if q.Name == "" {
+		q.Name = fmt.Sprintf("hotspot(n=%d,k=%d)", q.Racks, q.Hotspots)
+	}
+	return q
+}
+
+// Validate reports whether the parameters are usable.
+func (p *HotspotParams) Validate() error {
+	q := p.withDefaults()
+	switch {
+	case q.Racks < 2:
+		return fmt.Errorf("trace: HotspotParams.Racks = %d, need >= 2", q.Racks)
+	case q.Requests < 0:
+		return fmt.Errorf("trace: HotspotParams.Requests = %d, need >= 0", q.Requests)
+	case q.Hotspots < 1:
+		return fmt.Errorf("trace: HotspotParams.Hotspots = %d, need >= 1", q.Hotspots)
+	case q.HotProb < 0 || q.HotProb > 1:
+		return fmt.Errorf("trace: HotspotParams.HotProb = %v, need in [0,1]", q.HotProb)
+	case q.MigrateEvery < 1:
+		return fmt.Errorf("trace: HotspotParams.MigrateEvery = %d, need >= 1", q.MigrateEvery)
+	}
+	return nil
+}
+
+type hotspotStream struct {
+	p   HotspotParams
+	r   *stats.Rand
+	hot []pairUV
+	pos int
+}
+
+// NewHotspotStream builds the hotspot-migration stream.
+func NewHotspotStream(p HotspotParams) (Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	q := p.withDefaults()
+	s := &hotspotStream{p: q, r: stats.NewRand(q.Seed), hot: make([]pairUV, q.Hotspots)}
+	s.Reset()
+	return s, nil
+}
+
+func (s *hotspotStream) Name() string  { return s.p.Name }
+func (s *hotspotStream) NumRacks() int { return s.p.Racks }
+func (s *hotspotStream) Len() int      { return s.p.Requests }
+
+func (s *hotspotStream) drawPair() pairUV {
+	u := s.r.Intn(s.p.Racks)
+	v := s.r.Intn(s.p.Racks)
+	for u == v {
+		v = s.r.Intn(s.p.Racks)
+	}
+	return pairUV{u, v}
+}
+
+func (s *hotspotStream) Reset() {
+	s.r.Seed(s.p.Seed)
+	for i := range s.hot {
+		s.hot[i] = s.drawPair()
+	}
+	s.pos = 0
+}
+
+func (s *hotspotStream) Next(buf []Request) int {
+	n := 0
+	for n < len(buf) && s.pos < s.p.Requests {
+		if s.pos > 0 && s.pos%s.p.MigrateEvery == 0 {
+			s.hot[s.r.Intn(len(s.hot))] = s.drawPair()
+		}
+		var cur pairUV
+		if s.r.Bool(s.p.HotProb) {
+			cur = s.hot[s.r.Intn(len(s.hot))]
+		} else {
+			cur = s.drawPair()
+		}
+		buf[n] = Request{Src: int32(cur.u), Dst: int32(cur.v)}
+		s.pos++
+		n++
+	}
+	return n
+}
+
+// TenantMixParams controls the multi-tenant overlay generator: the fabric
+// is partitioned into Tenants contiguous rack groups, each running its own
+// skewed (Zipf-over-pairs, private permutation) workload; per request a
+// tenant is chosen from a Zipf distribution over tenants, and with
+// probability CrossProb the request instead crosses tenant boundaries
+// uniformly. Models consolidation of many independent workloads onto one
+// reconfigurable fabric.
+type TenantMixParams struct {
+	Racks      int
+	Requests   int
+	Seed       uint64
+	Tenants    int     // number of tenants (default 4); needs Racks >= 2·Tenants
+	TenantSkew float64 // Zipf exponent over tenants (default 1.0)
+	PairSkew   float64 // Zipf exponent of each tenant's pair distribution (default 1.2)
+	CrossProb  float64 // P(request crosses tenant boundaries) (default 0.05)
+	Name       string
+}
+
+func (p *TenantMixParams) withDefaults() TenantMixParams {
+	q := *p
+	if q.Tenants == 0 {
+		q.Tenants = 4
+	}
+	if q.TenantSkew == 0 {
+		q.TenantSkew = 1.0
+	}
+	if q.PairSkew == 0 {
+		q.PairSkew = 1.2
+	}
+	if q.Name == "" {
+		q.Name = fmt.Sprintf("tenant-mix(n=%d,t=%d)", q.Racks, q.Tenants)
+	}
+	return q
+}
+
+// Validate reports whether the parameters are usable.
+func (p *TenantMixParams) Validate() error {
+	q := p.withDefaults()
+	switch {
+	case q.Tenants < 1:
+		return fmt.Errorf("trace: TenantMixParams.Tenants = %d, need >= 1", q.Tenants)
+	case q.Racks < 2*q.Tenants:
+		return fmt.Errorf("trace: TenantMixParams.Racks = %d, need >= 2·Tenants = %d", q.Racks, 2*q.Tenants)
+	case q.Requests < 0:
+		return fmt.Errorf("trace: TenantMixParams.Requests = %d, need >= 0", q.Requests)
+	case q.TenantSkew < 0 || q.PairSkew < 0:
+		return fmt.Errorf("trace: TenantMixParams skews must be >= 0")
+	case q.CrossProb < 0 || q.CrossProb > 1:
+		return fmt.Errorf("trace: TenantMixParams.CrossProb = %v, need in [0,1]", q.CrossProb)
+	}
+	return nil
+}
+
+// tenant is one rack group with its private skewed pair distribution.
+type tenant struct {
+	lo, hi int // rack range [lo, hi)
+	zipf   *stats.Zipf
+	perm   []int
+}
+
+type tenantMixStream struct {
+	p       TenantMixParams
+	r       *stats.Rand
+	tenants []tenant
+	tzipf   *stats.Zipf
+	pos     int
+}
+
+// NewTenantMixStream builds the multi-tenant overlay stream.
+func NewTenantMixStream(p TenantMixParams) (Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	q := p.withDefaults()
+	s := &tenantMixStream{
+		p:       q,
+		r:       stats.NewRand(q.Seed),
+		tenants: make([]tenant, q.Tenants),
+		tzipf:   stats.NewZipf(q.Tenants, q.TenantSkew),
+	}
+	// Rack-range partition and per-tenant Zipf tables draw nothing from the
+	// RNG, so they are built once; only the permutations are re-drawn on
+	// Reset.
+	per := q.Racks / q.Tenants
+	for i := range s.tenants {
+		lo := i * per
+		hi := lo + per
+		if i == q.Tenants-1 {
+			hi = q.Racks
+		}
+		s.tenants[i] = tenant{lo: lo, hi: hi, zipf: stats.NewZipf(NumPairs(hi-lo), q.PairSkew)}
+	}
+	s.Reset()
+	return s, nil
+}
+
+func (s *tenantMixStream) Name() string  { return s.p.Name }
+func (s *tenantMixStream) NumRacks() int { return s.p.Racks }
+func (s *tenantMixStream) Len() int      { return s.p.Requests }
+
+func (s *tenantMixStream) Reset() {
+	s.r.Seed(s.p.Seed)
+	for i := range s.tenants {
+		t := &s.tenants[i]
+		t.perm = s.r.Perm(NumPairs(t.hi - t.lo))
+	}
+	s.pos = 0
+}
+
+func (s *tenantMixStream) Next(buf []Request) int {
+	n := 0
+	for n < len(buf) && s.pos < s.p.Requests {
+		var u, v int
+		if s.r.Bool(s.p.CrossProb) {
+			u = s.r.Intn(s.p.Racks)
+			v = s.r.Intn(s.p.Racks)
+			for u == v {
+				v = s.r.Intn(s.p.Racks)
+			}
+		} else {
+			t := &s.tenants[s.tzipf.Sample(s.r)]
+			lu, lv := pairFromIndex(t.perm[t.zipf.Sample(s.r)], t.hi-t.lo)
+			u, v = t.lo+lu, t.lo+lv
+		}
+		buf[n] = Request{Src: int32(u), Dst: int32(v)}
+		s.pos++
+		n++
+	}
+	return n
+}

@@ -13,9 +13,22 @@
 // so replays do no per-request work. PairID order equals PairKey order, a
 // property the algorithms' deterministic tie-breaks rely on.
 //
+// Traces exist in two regimes. Materialized: Trace holds the raw requests
+// and Compiled the pre-resolved tuples, both O(T) in memory. Streaming:
+// Stream produces raw requests in caller-sized batches from resumable
+// generator state, and Source compiles them chunk by chunk against the
+// metric (NewSource), so replaying a 10⁸-request workload holds O(chunk)
+// requests. Every generator is a Stream; the materialized constructors are
+// Collect over the same stream, and (*Compiled).Source adapts a
+// materialized trace back to the streaming interface — one replay path
+// subsumes the other, with bit-identical request sequences.
+//
 // Reproducibility: every generator is parameterized by an explicit seed
 // and draws only from stats.Rand, so a (generator, seed) pair denotes one
-// exact trace, on any platform and Go version.
+// exact trace, on any platform and Go version. For streams the contract
+// extends along two axes: Reset rewinds to the beginning bit-identically
+// (replays across repetitions and b-sweeps reuse one stream), and the
+// request sequence is independent of the batch sizes used to read it.
 package trace
 
 import (

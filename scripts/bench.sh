@@ -4,7 +4,8 @@
 # Usage:
 #   scripts/bench.sh [out.json] [benchtime] [pattern]
 #
-#   out.json   output path (default: stdout)
+#   out.json   output path; default is a timestamped BENCH_<yyyymmddHHMMSS>.json
+#              in the repo root, "-" writes to stdout
 #   benchtime  go test -benchtime value (default: 1s)
 #   pattern    benchmark regexp (default: the Fig1 suite + Serve microbenchmarks,
 #              the acceptance benchmarks of the dense-hot-path refactor)
@@ -12,15 +13,20 @@
 # The JSON schema is one object per benchmark:
 #   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
 #    "allocs_per_op": ..., "metrics": {"routing_cost": ..., ...}}
-# Compare two runs with scripts/bench.sh + git to show before/after in a PR,
-# or with benchstat on the raw `go test -bench` output.
+# Compare two runs with scripts/bench_compare.sh (used by CI to gate ns/op
+# regressions against BENCH_baseline.json), or with benchstat on the raw
+# `go test -bench` output.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-}"
+OUT="${1:-BENCH_$(date +%Y%m%d%H%M%S).json}"
 BENCHTIME="${2:-1s}"
 PATTERN="${3:-BenchmarkFig1|BenchmarkServe}"
+
+if [ "$OUT" = "-" ]; then
+    OUT=""
+fi
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

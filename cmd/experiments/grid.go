@@ -9,32 +9,45 @@ import (
 	"strings"
 	"time"
 
+	"obm/internal/report"
 	"obm/internal/sim"
 )
 
 // gridMain implements the `experiments grid` subcommand: it selects
 // scenarios (registered presets, names, or a JSON file), expands the
 // (scenario × algorithm × b × rep) job grid, and executes it on the worker
-// pool with streamed, bounded-memory replay.
+// pool with streamed, bounded-memory replay. With -store the run is
+// durable: completed jobs append to a run-store log, -resume picks a
+// crashed or partial run up where it left off, and -shard i/n executes
+// only the i-th of n disjoint job slices (merged later via `experiments
+// merge`).
 func gridMain(args []string) {
 	fs := flag.NewFlagSet("experiments grid", flag.ExitOnError)
 	var (
-		file     = fs.String("scenarios", "", "JSON file with a scenario list ([{...}]); empty = registered presets")
-		names    = fs.String("scenario", "", "comma-separated registered scenario names (default: all presets)")
-		list     = fs.Bool("list", false, "list registered scenarios, families and algorithms, then exit")
-		scale    = fs.Float64("scale", 1.0, "request-count scale factor in (0,1]")
-		reps     = fs.Int("reps", 0, "override repetitions per job (0 = per-spec value)")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		chunk    = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
-		outdir   = fs.String("outdir", "results", "directory for grid.csv / grid.json output")
-		format   = fs.String("format", "csv", "output format: csv, json, or both")
-		progress = fs.Bool("progress", true, "print per-job progress to stderr")
+		file      = fs.String("scenarios", "", "JSON file with a scenario list ([{...}]); empty = registered presets")
+		names     = fs.String("scenario", "", "comma-separated registered scenario names (default: all presets)")
+		list      = fs.Bool("list", false, "list registered scenarios, families and algorithms, then exit")
+		scale     = fs.Float64("scale", 1.0, "request-count scale factor in (0,1]")
+		reps      = fs.Int("reps", 0, "override repetitions per job (0 = per-spec value)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		chunk     = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
+		outdir    = fs.String("outdir", "results", "directory for grid.csv / grid.json output")
+		format    = fs.String("format", "csv", "output format: csv, json, or both")
+		progress  = fs.Bool("progress", true, "print per-job progress to stderr")
+		storeDir  = fs.String("store", "", "run-store directory for durable execution (empty = fire-and-forget)")
+		resume    = fs.Bool("resume", false, "resume an existing run store (-store), skipping completed jobs")
+		shardSpec = fs.String("shard", "", "own only slice i of n disjoint job slices, as \"i/n\" (requires -store)")
+		curvePts  = fs.Int("curve-points", 10, "cost-curve checkpoints recorded per job in the store (0 = final costs only)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: experiments grid [flags]\n\n"+
 			"Runs named scenario specs through the grid scheduler with streamed,\n"+
 			"bounded-memory trace replay. Scenarios come from the built-in registry\n"+
-			"(-scenario name,... selects a subset) or a JSON file (-scenarios).\n\n")
+			"(-scenario name,... selects a subset) or a JSON file (-scenarios).\n\n"+
+			"With -store DIR each completed job is appended to DIR/jobs.jsonl;\n"+
+			"re-invoking with -resume skips completed jobs, and -shard i/n restricts\n"+
+			"this process to a disjoint slice of the grid (fold slices together with\n"+
+			"`experiments merge`, render any store with `experiments report`).\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -81,10 +94,54 @@ func gridMain(args []string) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s\n", done, total, job, status)
 		}
 	}
+
+	shard, err := parseShard(*shardSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var st *report.Store
+	if *storeDir != "" {
+		st, err = openOrCreateStore(*storeDir, specs, *curvePts, shard, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		opt = st.GridOptions(opt)
+		if n := st.Len(); n > 0 {
+			fmt.Printf("  resuming %s: %d jobs already recorded\n", *storeDir, n)
+		}
+		if st.Truncated() > 0 {
+			fmt.Printf("  dropped %d crash-truncated record(s); the jobs will re-run\n", st.Truncated())
+		}
+	} else {
+		if !shard.IsFull() {
+			fatal(fmt.Errorf("grid: -shard requires -store (shard slices only make sense when merged from their logs)"))
+		}
+		opt.CurvePoints = 0
+	}
+
 	start := time.Now()
 	res, err := sim.RunGrid(specs, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if st != nil {
+		if err := st.Sync(); err != nil {
+			fatal(err)
+		}
+		missing, err := st.Missing()
+		if err != nil {
+			fatal(err)
+		}
+		if len(missing) == 0 && shard.IsFull() {
+			// A complete full-grid store documents itself.
+			if err := renderStore(st); err != nil {
+				fatal(err)
+			}
+		} else if !shard.IsFull() {
+			fmt.Printf("  shard %s complete: merge slices with `experiments merge -out DIR %s ...`\n",
+				shard, *storeDir)
+		}
 	}
 	for _, row := range res.SummaryRows() {
 		fmt.Println("  " + row)

@@ -13,10 +13,21 @@
 //
 // The grid subcommand runs named scenario specs — beyond the paper's
 // figures — through the scenario-grid scheduler with streamed,
-// bounded-memory trace replay:
+// bounded-memory trace replay. With -store the run is durable (each
+// finished job appends to a run-store log), resumable (-resume skips
+// completed jobs after a crash or interruption) and shardable (-shard i/n
+// executes one of n disjoint job slices):
 //
 //	experiments grid [-list] [-scenario name,…] [-scenarios file.json]
 //	                 [-scale 1.0] [-workers 0] [-outdir results] [-format csv]
+//	                 [-store runs/my-grid] [-resume] [-shard i/n] [-curve-points 10]
+//
+// The merge subcommand folds shard (or partial) stores of the same grid
+// into one full-grid store; report renders any store as Markdown plus a
+// deterministic summary CSV:
+//
+//	experiments merge -out runs/merged runs/shard0 runs/shard1
+//	experiments report -store runs/merged [-stdout]
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"obm/internal/figures"
@@ -31,9 +43,25 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "grid" {
-		gridMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "grid":
+			gridMain(os.Args[2:])
+			return
+		case "merge":
+			mergeMain(os.Args[2:])
+			return
+		case "report":
+			reportMain(os.Args[2:])
+			return
+		default:
+			// Anything positional that is not a known subcommand must not
+			// fall through to figure mode (whose default is the full-scale
+			// `-figure all` run).
+			if !strings.HasPrefix(os.Args[1], "-") {
+				fatal(fmt.Errorf("unknown subcommand %q (have: grid, merge, report; figure mode takes flags only)", os.Args[1]))
+			}
+		}
 	}
 	var (
 		figureID = flag.String("figure", "all", "figure to run (fig1a…fig4c, ext-…), 'all' (paper figures), or 'extras'")

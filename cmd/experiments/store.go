@@ -1,0 +1,183 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"obm/internal/report"
+	"obm/internal/sim"
+)
+
+// parseShard parses the -shard "i/n" syntax ("" = full grid). Strict:
+// trailing garbage ("1/10o", "0/2/3") must not silently run the wrong
+// partition.
+func parseShard(s string) (report.Shard, error) {
+	if s == "" {
+		return report.Shard{}, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return report.Shard{}, fmt.Errorf("grid: -shard %q: want \"i/n\" (e.g. 0/4)", s)
+	}
+	i, err1 := strconv.Atoi(is)
+	n, err2 := strconv.Atoi(ns)
+	if err1 != nil || err2 != nil {
+		return report.Shard{}, fmt.Errorf("grid: -shard %q: want \"i/n\" (e.g. 0/4)", s)
+	}
+	if n < 2 || i < 0 || i >= n {
+		return report.Shard{}, fmt.Errorf("grid: -shard %q: need 0 <= i < n and n >= 2", s)
+	}
+	return report.Shard{Index: i, Count: n}, nil
+}
+
+// openOrCreateStore resolves the -store/-resume/-shard flags into an open
+// run store: a fresh store for a new directory, the existing store when
+// resuming — after verifying it really holds this grid (spec hash) and
+// this shard, so a resumed run can never silently mix grids.
+func openOrCreateStore(dir string, specs []sim.ScenarioSpec, curvePoints int, shard report.Shard, resume bool) (*report.Store, error) {
+	m, err := report.NewManifest("experiments grid", specs, curvePoints, shard)
+	if err != nil {
+		return nil, err
+	}
+	if !report.Exists(dir) {
+		return report.Create(dir, m)
+	}
+	if !resume {
+		return nil, fmt.Errorf("grid: %s already holds a run store; pass -resume to continue it, or choose a fresh -store directory", dir)
+	}
+	st, err := report.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	have := st.Manifest()
+	if have.SpecHash != m.SpecHash {
+		st.Close()
+		return nil, fmt.Errorf("grid: %s holds a different grid (spec hash %.12s, flags produce %.12s); "+
+			"resume with the original scenario/scale/reps/curve-points flags or choose a fresh -store directory",
+			dir, have.SpecHash, m.SpecHash)
+	}
+	if have.Shard != shard {
+		st.Close()
+		return nil, fmt.Errorf("grid: %s was created as shard %s, flags say %s", dir, have.Shard, shard)
+	}
+	return st, nil
+}
+
+// renderStore writes the store's summary.csv and report.md next to its
+// log, so a finished run documents itself.
+func renderStore(st *report.Store) error {
+	res, err := st.Result()
+	if err != nil {
+		return err
+	}
+	csvPath := filepath.Join(st.Dir(), "summary.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteSummaryCSV(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", csvPath)
+	mdPath := filepath.Join(st.Dir(), "report.md")
+	f, err = os.Create(mdPath)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteReport(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", mdPath)
+	return nil
+}
+
+// mergeMain implements `experiments merge`: fold shard (or partial) run
+// stores of the same grid into one store, then render it.
+func mergeMain(args []string) {
+	fs := flag.NewFlagSet("experiments merge", flag.ExitOnError)
+	out := fs.String("out", "", "directory for the merged run store (required, must be fresh)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: experiments merge -out DIR STORE1 STORE2 ...\n\n"+
+			"Folds the job logs of several run stores of the same grid — typically\n"+
+			"one per -shard i/n slice — into one full-grid store at DIR. Overlapping\n"+
+			"records must agree exactly; a complete merged store is rendered to\n"+
+			"summary.csv and report.md.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	srcs := fs.Args()
+	if *out == "" || len(srcs) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	st, err := report.Merge(*out, srcs...)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	missing, err := st.Missing()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  merged %s -> %s: %d jobs recorded, %d missing\n",
+		strings.Join(srcs, " + "), *out, st.Len(), len(missing))
+	if len(missing) == 0 {
+		if err := renderStore(st); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("  resume the rest with: experiments grid -store %s -resume ...\n", *out)
+	}
+}
+
+// reportMain implements `experiments report`: render an existing run
+// store to Markdown + summary CSV (whether or not it is complete).
+func reportMain(args []string) {
+	fs := flag.NewFlagSet("experiments report", flag.ExitOnError)
+	var (
+		dir    = fs.String("store", "", "run-store directory to render (required)")
+		stdout = fs.Bool("stdout", false, "print the Markdown report to stdout instead of writing files")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: experiments report -store DIR [-stdout]\n\n"+
+			"Renders a run store into summary.csv (deterministic per-cell costs)\n"+
+			"and report.md (per-scenario tables and ASCII cost curves), written\n"+
+			"into the store directory.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	st, err := report.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	if *stdout {
+		if err := st.WriteReport(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := renderStore(st); err != nil {
+		fatal(err)
+	}
+}

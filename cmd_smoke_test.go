@@ -131,6 +131,55 @@ func TestCmdExperimentsGridSmoke(t *testing.T) {
 	}
 }
 
+// TestCmdExperimentsStoreSmoke drives the durable-run workflow through
+// the CLI: two shard stores, a merge, a no-op resume of the merged store,
+// and a rendered report.
+func TestCmdExperimentsStoreSmoke(t *testing.T) {
+	bin := buildBinary(t, "cmd/experiments")
+	base := t.TempDir()
+	gridArgs := func(extra ...string) []string {
+		return append([]string{"grid", "-scenario", "uniform-baseline", "-scale", "0.02",
+			"-outdir", filepath.Join(base, "out"), "-progress=false"}, extra...)
+	}
+	run(t, bin, gridArgs("-store", filepath.Join(base, "s0"), "-shard", "0/2")...)
+	run(t, bin, gridArgs("-store", filepath.Join(base, "s1"), "-shard", "1/2")...)
+
+	out := run(t, bin, "merge", "-out", filepath.Join(base, "m"),
+		filepath.Join(base, "s0"), filepath.Join(base, "s1"))
+	if !strings.Contains(out, "0 missing") {
+		t.Errorf("merge left jobs missing:\n%s", out)
+	}
+	for _, name := range []string{"manifest.json", "jobs.jsonl", "summary.csv", "report.md"} {
+		info, err := os.Stat(filepath.Join(base, "m", name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("merged store %s missing or empty (err=%v)", name, err)
+		}
+	}
+
+	// Resuming the complete merged store must execute nothing new.
+	out = run(t, bin, gridArgs("-store", filepath.Join(base, "m"), "-resume")...)
+	if !strings.Contains(out, "resuming") {
+		t.Errorf("resume did not report recorded jobs:\n%s", out)
+	}
+
+	out = run(t, bin, "report", "-store", filepath.Join(base, "m"), "-stdout")
+	for _, want := range []string{"# Run report:", "## uniform-baseline", "| r-bma |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Guard rails: clobbering without -resume, and mismatched resumes.
+	cmd := exec.Command(bin, gridArgs("-store", filepath.Join(base, "m"))...)
+	if msg, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("re-running into an existing store without -resume succeeded:\n%s", msg)
+	}
+	cmd = exec.Command(bin, gridArgs("-store", filepath.Join(base, "m"), "-resume", "-scale", "0.03")...)
+	if msg, err := cmd.CombinedOutput(); err == nil || !strings.Contains(string(msg), "different grid") {
+		t.Errorf("resume with different scale not rejected (err=%v):\n%s", err, msg)
+	}
+}
+
 func TestExamplesSmoke(t *testing.T) {
 	examples, err := filepath.Glob("examples/*")
 	if err != nil {

@@ -29,11 +29,25 @@
 // migration and tenant-mix families beyond the paper — into a (scenario ×
 // algorithm × b × rep) job grid on a worker pool.
 //
+// Durable runs. Grid execution persists through internal/report: a run
+// store (manifest.json + an atomically appended jobs.jsonl log) makes a
+// grid resumable after a crash (`experiments grid -store DIR -resume`
+// re-executes only missing jobs), shardable across processes or machines
+// (`-shard i/n` owns a disjoint slice; `experiments merge` folds shard
+// logs into one store), and self-documenting (`experiments report`
+// renders Markdown summary tables and ASCII cost curves). Resume and
+// merge are guarded by a SHA-256 spec hash so a store never absorbs
+// results from a different grid.
+//
 // Seed reproducibility. Every randomized component draws from a stats.Rand
 // seeded explicitly; identical seeds give bit-for-bit identical runs,
 // independent of Go version, map iteration order, or internal
 // representation. The golden suite in internal/core pins the algorithms'
 // exact cost curves across trace families, and resumable generators extend
 // the contract: Reset rewinds a stream bit-identically, and request
-// sequences are independent of the chunk sizes used to read them.
+// sequences are independent of the chunk sizes used to read them. The run
+// store leans on the same contract one level up — a grid job's costs are a
+// pure function of its (scenario, algorithm, b, rep) identity, so resumed
+// and sharded runs aggregate to summaries byte-identical to uninterrupted
+// single-process runs.
 package obm

@@ -1,0 +1,13 @@
+package figures
+
+import "obm/internal/sim"
+
+// CurveChart renders averaged cumulative routing-cost curves as a
+// fixed-size ASCII line chart: the terminal/markdown rendition of a
+// figure. It is the chart the `experiments` summaries and the run-store
+// report renderer (internal/report) embed, so every surfaced figure goes
+// through one definition.
+func CurveChart(title string, curves []sim.Curve, width, height int) string {
+	return sim.ASCIIChart(title, curves, width, height,
+		func(a sim.Averaged, i int) float64 { return a.Routing[i] })
+}

@@ -1,0 +1,61 @@
+package report_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"obm/internal/report"
+	"obm/internal/sim"
+)
+
+// ExampleStore runs a tiny grid into a durable run store, then "resumes"
+// it: the second run finds every job already recorded and executes
+// nothing — the core contract of resumable grids.
+func ExampleStore() {
+	dir, err := os.MkdirTemp("", "runstore")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	specs := []sim.ScenarioSpec{{
+		Name: "demo", Family: "uniform",
+		Racks: 8, Requests: 2000, Seed: 1,
+		Bs: []int{2}, Reps: 2, Algs: []string{"r-bma"},
+	}}
+
+	m, err := report.NewManifest("demo", specs, 0, report.Shard{})
+	if err != nil {
+		panic(err)
+	}
+	st, err := report.Create(filepath.Join(dir, "run"), m)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := st.Run(sim.GridOptions{Workers: 1}); err != nil {
+		panic(err)
+	}
+	fmt.Println("jobs recorded:", st.Len())
+	st.Close()
+
+	// Re-open and re-run: everything resolves from the log.
+	re, err := report.Open(filepath.Join(dir, "run"))
+	if err != nil {
+		panic(err)
+	}
+	defer re.Close()
+	executed := 0
+	opt := re.GridOptions(sim.GridOptions{Workers: 1})
+	opt.Persist = func(j sim.GridJob, o sim.JobOutcome) error { executed++; return nil }
+	if _, err := sim.RunGrid(re.Manifest().Specs, opt); err != nil {
+		panic(err)
+	}
+	missing, err := re.Missing()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("re-executed:", executed, "missing:", len(missing))
+	// Output:
+	// jobs recorded: 2
+	// re-executed: 0 missing: 0
+}

@@ -1,0 +1,120 @@
+package report_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obm/internal/report"
+	"obm/internal/sim"
+)
+
+// runShard executes one shard slice of specs into a fresh store at dir.
+func runShard(t *testing.T, dir string, specs []sim.ScenarioSpec, curvePoints int, shard report.Shard) *report.Store {
+	t.Helper()
+	st, err := report.Create(dir, newManifest(t, specs, curvePoints, shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(sim.GridOptions{Workers: 2, ChunkSize: 512}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestMergeDisjointShards(t *testing.T) {
+	specs := smallSpecs()
+	base := t.TempDir()
+	s0 := runShard(t, filepath.Join(base, "s0"), specs, 0, report.Shard{Index: 0, Count: 2})
+	s1 := runShard(t, filepath.Join(base, "s1"), specs, 0, report.Shard{Index: 1, Count: 2})
+	total := s0.Manifest().TotalJobs
+	if got := s0.Len() + s1.Len(); got != total {
+		t.Fatalf("shards cover %d of %d jobs", got, total)
+	}
+	if m0, _ := s0.Missing(); len(m0) != 0 {
+		t.Fatalf("shard 0 incomplete: %v", m0)
+	}
+	s0.Close()
+	s1.Close()
+
+	merged, err := report.Merge(filepath.Join(base, "merged"), filepath.Join(base, "s0"), filepath.Join(base, "s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if merged.Len() != total {
+		t.Fatalf("merged %d of %d jobs", merged.Len(), total)
+	}
+	if !merged.Manifest().Shard.IsFull() {
+		t.Fatal("merged store is not a full-grid store")
+	}
+	if missing, _ := merged.Missing(); len(missing) != 0 {
+		t.Fatalf("merged store missing %v", missing)
+	}
+}
+
+func TestMergeOverlappingIdentical(t *testing.T) {
+	specs := smallSpecs()
+	base := t.TempDir()
+	// Two full runs of the same grid: every record overlaps and, by the
+	// seed contract, must be identical in its deterministic fields.
+	a := runShard(t, filepath.Join(base, "a"), specs, 0, report.Shard{})
+	b := runShard(t, filepath.Join(base, "b"), specs, 0, report.Shard{})
+	a.Close()
+	b.Close()
+	merged, err := report.Merge(filepath.Join(base, "m"), filepath.Join(base, "a"), filepath.Join(base, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if missing, _ := merged.Missing(); len(missing) != 0 || merged.Len() != merged.Manifest().TotalJobs {
+		t.Fatalf("overlapping merge incomplete: len=%d missing=%d", merged.Len(), len(missing))
+	}
+}
+
+func TestMergeConflictFails(t *testing.T) {
+	specs := smallSpecs()
+	base := t.TempDir()
+	m := newManifest(t, specs, 0, report.Shard{})
+	j := sim.GridJob{Scenario: "uni", Alg: "r-bma", B: 2, Rep: 0}
+	a, err := report.Create(filepath.Join(base, "a"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(j, sim.JobOutcome{Routing: 10}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b, err := report.Create(filepath.Join(base, "b"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(j, sim.JobOutcome{Routing: 999}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	_, err = report.Merge(filepath.Join(base, "m"), filepath.Join(base, "a"), filepath.Join(base, "b"))
+	if err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting merge not rejected: %v", err)
+	}
+}
+
+func TestMergeSpecHashMismatchFails(t *testing.T) {
+	base := t.TempDir()
+	a, err := report.Create(filepath.Join(base, "a"), newManifest(t, smallSpecs(), 0, report.Shard{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	other := smallSpecs()
+	other[0].Seed = 77
+	b, err := report.Create(filepath.Join(base, "b"), newManifest(t, other, 0, report.Shard{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	_, err = report.Merge(filepath.Join(base, "m"), filepath.Join(base, "a"), filepath.Join(base, "b"))
+	if err == nil || !strings.Contains(err.Error(), "different grids") {
+		t.Fatalf("mismatched merge not rejected: %v", err)
+	}
+}

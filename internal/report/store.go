@@ -1,0 +1,313 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"obm/internal/sim"
+)
+
+// jobRecord is one line of jobs.jsonl.
+type jobRecord struct {
+	Scenario string         `json:"scenario"`
+	Alg      string         `json:"alg"`
+	B        int            `json:"b"`
+	Rep      int            `json:"rep"`
+	Outcome  sim.JobOutcome `json:"outcome"`
+}
+
+func (r jobRecord) job() sim.GridJob {
+	return sim.GridJob{Scenario: r.Scenario, Alg: r.Alg, B: r.B, Rep: r.Rep}
+}
+
+// validate rejects structurally broken records — valid JSON whose curve
+// arrays disagree in length would otherwise panic the renderer and merge
+// far from the corruption site.
+func (r jobRecord) validate() error {
+	o := r.Outcome
+	if len(o.RoutingCurve) != len(o.X) || len(o.ReconfigCurve) != len(o.X) {
+		return fmt.Errorf("curve lengths (x=%d routing=%d reconfig=%d) disagree",
+			len(o.X), len(o.RoutingCurve), len(o.ReconfigCurve))
+	}
+	return nil
+}
+
+// Store is an open run store: the manifest plus the completed-job log,
+// loaded into memory for Lookup and kept open for appends. Lookup and
+// Append are safe for concurrent use (RunGrid serializes Persist calls,
+// but Lookup runs during planning and tests exercise both freely).
+type Store struct {
+	dir      string
+	manifest Manifest
+
+	mu       sync.Mutex
+	log      *os.File
+	outcomes map[sim.GridJob]sim.JobOutcome
+	order    []sim.GridJob
+	// truncated counts crash-truncated trailing records dropped by Open.
+	truncated int
+}
+
+// Create initializes dir (created if needed) as a new run store with the
+// given manifest. It refuses to overwrite an existing store — resuming
+// goes through Open so a stale directory is never silently clobbered.
+func Create(dir string, m Manifest) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("report: %s already holds a run store (open it to resume, or choose a fresh directory)", dir)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("report: manifest format v%d, want v%d (build it with NewManifest)", m.FormatVersion, FormatVersion)
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	log, err := os.OpenFile(filepath.Join(dir, jobsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:      dir,
+		manifest: m,
+		log:      log,
+		outcomes: make(map[sim.GridJob]sim.JobOutcome),
+	}, nil
+}
+
+// Open loads the run store in dir: the manifest and every completed job in
+// the log. A crash-truncated trailing record is dropped (and the file
+// trimmed back to the last whole record, so subsequent appends start on a
+// clean line); corruption anywhere else is an error.
+func Open(dir string) (*Store, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		manifest: m,
+		outcomes: make(map[sim.GridJob]sim.JobOutcome),
+	}
+	path := filepath.Join(dir, jobsFile)
+	if err := s.loadLog(path); err != nil {
+		return nil, err
+	}
+	s.log, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadLog reads the append log, keeping the first record per job and
+// trimming a torn tail.
+func (s *Store) loadLog(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var (
+		r       = bufio.NewReader(f)
+		goodEnd int64 // byte offset just past the last whole record
+		lineNo  int
+	)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			lineNo++
+			var rec jobRecord
+			jerr := json.Unmarshal(line, &rec)
+			if jerr == nil {
+				jerr = rec.validate()
+			}
+			if jerr != nil {
+				// A malformed line mid-log is corruption; only a torn
+				// final line (no trailing newline, handled below) is a
+				// survivable crash artifact. A malformed *last* complete
+				// line can also be a torn write that happened to end in
+				// '\n' inside a JSON string — probe whether anything
+				// follows before deciding.
+				if _, perr := r.Peek(1); perr == io.EOF {
+					s.truncated++
+					break
+				}
+				return fmt.Errorf("report: %s: corrupt record on line %d: %v", path, lineNo, jerr)
+			}
+			s.record(rec.job(), rec.Outcome)
+			goodEnd += int64(len(line))
+			continue
+		}
+		if err == io.EOF {
+			if len(line) > 0 {
+				s.truncated++ // torn tail without newline
+			}
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if s.truncated > 0 {
+		if err := os.Truncate(path, goodEnd); err != nil {
+			return fmt.Errorf("report: %s: trimming torn tail: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// record keeps the first outcome per job (duplicates can only arise from
+// merged overlapping logs, which Merge verifies are identical).
+func (s *Store) record(j sim.GridJob, o sim.JobOutcome) {
+	if _, ok := s.outcomes[j]; ok {
+		return
+	}
+	s.outcomes[j] = o
+	s.order = append(s.order, j)
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Manifest returns the store's manifest.
+func (s *Store) Manifest() Manifest { return s.manifest }
+
+// Truncated reports how many crash-truncated trailing records Open
+// dropped (0 or 1 for a store written by one process).
+func (s *Store) Truncated() int { return s.truncated }
+
+// Len returns the number of completed jobs in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Lookup returns the persisted outcome of j, if any. It is the
+// sim.GridOptions.Lookup hook of a resumed run.
+func (s *Store) Lookup(j sim.GridJob) (sim.JobOutcome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.outcomes[j]
+	return o, ok
+}
+
+// Append durably records a completed job: one marshaled line handed to a
+// single append-mode write, so concurrent appenders never interleave and a
+// crash tears at most the final line. It is the sim.GridOptions.Persist
+// hook of a store-backed run.
+func (s *Store) Append(j sim.GridJob, o sim.JobOutcome) error {
+	rec := jobRecord{Scenario: j.Scenario, Alg: j.Alg, B: j.B, Rep: j.Rep, Outcome: o}
+	if err := rec.validate(); err != nil {
+		return fmt.Errorf("report: job %s: %w", j, err)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("report: encoding job %s: %w", j, err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return fmt.Errorf("report: store %s is closed", s.dir)
+	}
+	if _, ok := s.outcomes[j]; ok {
+		return fmt.Errorf("report: job %s already recorded in %s", j, s.dir)
+	}
+	if _, err := s.log.Write(line); err != nil {
+		return fmt.Errorf("report: appending job %s: %w", j, err)
+	}
+	s.record(j, o)
+	return nil
+}
+
+// Outcomes returns a copy of the completed-job map, the form
+// sim.GridPlan.Aggregate consumes.
+func (s *Store) Outcomes() map[sim.GridJob]sim.JobOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[sim.GridJob]sim.JobOutcome, len(s.outcomes))
+	for j, o := range s.outcomes {
+		out[j] = o
+	}
+	return out
+}
+
+// Missing returns the jobs of this store's shard slice that have no
+// recorded outcome yet, in plan order. An empty result means the store is
+// complete (for its shard).
+func (s *Store) Missing() ([]sim.GridJob, error) {
+	plan, err := s.manifest.Plan()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var missing []sim.GridJob
+	for i, j := range plan.Jobs {
+		if !s.manifest.ownsJob(i) {
+			continue
+		}
+		if _, ok := s.outcomes[j]; !ok {
+			missing = append(missing, j)
+		}
+	}
+	return missing, nil
+}
+
+// GridOptions wires the store into grid options: Lookup resumes from the
+// log, Persist appends to it, and the manifest's shard layout and curve
+// checkpointing are applied. The remaining knobs (workers, chunk size,
+// progress) are taken from base.
+func (s *Store) GridOptions(base sim.GridOptions) sim.GridOptions {
+	base.CurvePoints = s.manifest.CurvePoints
+	base.Shard = s.manifest.Shard.Index
+	base.Shards = s.manifest.Shard.Count
+	base.Lookup = s.Lookup
+	base.Persist = s.Append
+	return base
+}
+
+// Run executes the store's grid, resuming from the log: completed jobs
+// are skipped, newly finished ones are appended. The returned result
+// covers every outcome the store now holds (for a sharded store, its
+// slice of the grid).
+func (s *Store) Run(base sim.GridOptions) (*sim.GridResult, error) {
+	return sim.RunGrid(s.manifest.Specs, s.GridOptions(base))
+}
+
+// Sync flushes the append log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Sync()
+}
+
+// Close syncs and closes the append log. Lookup and read accessors keep
+// working; Append does not.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Sync()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	s.log = nil
+	return err
+}

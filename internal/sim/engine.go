@@ -21,6 +21,12 @@
 // b × rep) job grid, executed by a worker pool where every job owns its
 // streaming source, with repetitions aggregated into stats.Summary rows
 // and CSV/JSON output.
+//
+// Grid execution is durable-by-hook: PlanGrid exposes the deterministic
+// job expansion, and GridOptions' Lookup/Persist/Shard hooks let a run
+// store (internal/report) skip completed jobs, log finished ones, and
+// partition one grid across processes — without the scheduler knowing
+// anything about persistence formats.
 package sim
 
 import (

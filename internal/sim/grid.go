@@ -18,8 +18,21 @@ import (
 // chunk) regardless of trace lengths, and jobs never share mutable state.
 // Repetitions of one (scenario, algorithm, b) cell are aggregated into a
 // stats.Summary row.
+//
+// The grid supports durable execution through three orthogonal hooks, all
+// built on the fact that a job's outcome is a pure function of its
+// identity (the spec seed and the rep-derived algorithm seed):
+//
+//   - Lookup short-circuits jobs whose outcome is already known (resume);
+//   - Persist records each finished job (a run store appends it to a log);
+//   - Shard/Shards statically partitions the job grid across processes.
+//
+// internal/report combines them into a crash-safe, shardable run store.
 
-// GridJob identifies one cell-repetition of the grid.
+// GridJob identifies one cell-repetition of the grid. Job identity is
+// stable across runs: it depends only on the specs, never on scheduling,
+// worker count or sharding — which is what makes outcomes persistable and
+// grids resumable.
 type GridJob struct {
 	Scenario string
 	Alg      string
@@ -31,6 +44,22 @@ func (j GridJob) String() string {
 	return fmt.Sprintf("%s/%s(b=%d)/rep=%d", j.Scenario, j.Alg, j.B, j.Rep)
 }
 
+// JobOutcome is the persistable result of one grid job: the final
+// cumulative costs, the decision-loop wall time, and (when
+// GridOptions.CurvePoints > 0) the checkpointed cost curve. Routing and
+// Reconfig are deterministic given the job identity; ElapsedMS is not.
+type JobOutcome struct {
+	Routing   float64 `json:"routing"`
+	Reconfig  float64 `json:"reconfig"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Checkpointed curve, present when the grid ran with CurvePoints > 0:
+	// after X[i] requests the job had paid RoutingCurve[i] routing and
+	// ReconfigCurve[i] reconfiguration cost.
+	X             []int     `json:"x,omitempty"`
+	RoutingCurve  []float64 `json:"routing_curve,omitempty"`
+	ReconfigCurve []float64 `json:"reconfig_curve,omitempty"`
+}
+
 // GridOptions tunes the grid scheduler.
 type GridOptions struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS.
@@ -38,9 +67,29 @@ type GridOptions struct {
 	// ChunkSize is the streaming chunk capacity per worker
 	// (trace.DefaultChunkSize if <= 0).
 	ChunkSize int
-	// Progress, when non-nil, is called after every finished job with the
-	// completion count. Callbacks are serialized; err is the job's error
-	// (nil on success).
+	// CurvePoints, when > 0, records that many evenly spaced cost-curve
+	// checkpoints in every JobOutcome (0 keeps only the final costs).
+	CurvePoints int
+	// Shard/Shards statically partition the job grid: only jobs whose
+	// plan index i satisfies i % Shards == Shard are executed, so
+	// independent processes (or machines) running distinct shards of the
+	// same spec list own disjoint job slices. Shards <= 1 disables
+	// sharding. Cells with no jobs in this shard are dropped from the
+	// result; a merged full-grid view is assembled by internal/report.
+	Shard, Shards int
+	// Lookup, when non-nil, is consulted once per job before execution;
+	// returning (outcome, true) marks the job complete without running it.
+	// This is the resume path: a run store replays its log through Lookup
+	// and only the missing jobs execute.
+	Lookup func(GridJob) (JobOutcome, bool)
+	// Persist, when non-nil, is called exactly once per executed job,
+	// serialized, after the job finishes successfully (jobs resolved via
+	// Lookup are not re-persisted). A Persist error aborts the grid like a
+	// job failure.
+	Persist func(GridJob, JobOutcome) error
+	// Progress, when non-nil, is called after every executed job with the
+	// completion count (jobs resolved via Lookup are not reported).
+	// Callbacks are serialized; err is the job's error (nil on success).
 	Progress func(done, total int, job GridJob, err error)
 }
 
@@ -67,69 +116,71 @@ type GridResult struct {
 	Rows []GridRow
 }
 
-// gridCell accumulates one row's repetitions.
-type gridCell struct {
-	row      GridRow
-	routing  []float64
-	reconfig []float64
-	total    []float64
-	elapsed  []float64
+// GridPlan is the deterministic expansion of a spec list into its job grid:
+// job identities in execution order, the (scenario, algorithm, b) cells
+// they aggregate into, and the job→cell mapping. The plan is a pure
+// function of the specs — two processes planning the same specs see the
+// same job order, which is what sharding and run stores rely on.
+type GridPlan struct {
+	Jobs []GridJob
+	// Cells carries each cell's identity fields (summaries are zero).
+	Cells []GridRow
+	// CellOf[i] is the index in Cells that Jobs[i] aggregates into.
+	CellOf []int
 }
 
-// RunGrid validates the specs, expands the job grid and executes it on the
-// worker pool. All job errors are collected and joined; after the first
-// failure no new jobs are started (in-flight jobs finish). On error the
-// partial result is discarded.
-func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
+// runtimeJob is a planned job plus everything needed to execute it.
+type runtimeJob struct {
+	GridJob
+	spec  ScenarioSpec
+	model core.CostModel
+	alg   AlgSpec
+	cell  int
+}
+
+// expandGrid validates the specs and expands them into the runtime job
+// list and cell table, in deterministic (spec, algorithm, b, rep) order.
+// The cost model (an O(racks²) metric construction) is built once per
+// scenario and shared by its jobs.
+func expandGrid(specs []ScenarioSpec) ([]runtimeJob, []GridRow, error) {
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("sim: RunGrid with no scenarios")
+		return nil, nil, fmt.Errorf("sim: grid with no scenarios")
 	}
 	seen := make(map[string]bool, len(specs))
 	for _, spec := range specs {
 		if err := spec.Validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if seen[spec.Name] {
-			return nil, fmt.Errorf("sim: duplicate scenario name %q", spec.Name)
+			return nil, nil, fmt.Errorf("sim: duplicate scenario name %q", spec.Name)
 		}
 		seen[spec.Name] = true
 	}
-
-	// Expand the grid. Cells are created in deterministic order; jobs
-	// reference their cell by index. The cost model (an O(racks²) metric
-	// construction) is built once per scenario and shared by its jobs.
-	type job struct {
-		GridJob
-		spec  ScenarioSpec
-		model core.CostModel
-		alg   AlgSpec
-		cell  int
-	}
-	var jobs []job
-	var cells []*gridCell
+	var jobs []runtimeJob
+	var cells []GridRow
 	for _, spec := range specs {
 		spec := spec.withDefaults()
 		model := spec.Model()
 		for _, algName := range spec.Algs {
 			as, err := spec.algSpec(algName, model)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			bs := spec.Bs
 			if as.FixedB >= 0 {
 				bs = []int{as.FixedB}
 			}
 			for _, b := range bs {
-				cells = append(cells, &gridCell{row: GridRow{
+				cells = append(cells, GridRow{
 					Scenario: spec.Name,
 					Family:   spec.Family,
 					Alg:      algName,
 					B:        b,
 					Requests: spec.Requests,
 					Racks:    spec.Racks,
-				}})
+				})
 				for rep := 0; rep < spec.Reps; rep++ {
-					jobs = append(jobs, job{
+					jobs = append(jobs, runtimeJob{
 						GridJob: GridJob{Scenario: spec.Name, Alg: algName, B: b, Rep: rep},
 						spec:    spec,
 						model:   model,
@@ -140,73 +191,174 @@ func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
 			}
 		}
 	}
+	return jobs, cells, nil
+}
 
-	type jobResult struct {
-		routing  float64
-		reconfig float64
-		elapsed  time.Duration
+// newPlan strips the runtime parts off an expanded grid.
+func newPlan(jobs []runtimeJob, cells []GridRow) *GridPlan {
+	p := &GridPlan{
+		Jobs:   make([]GridJob, len(jobs)),
+		Cells:  cells,
+		CellOf: make([]int, len(jobs)),
 	}
-	results := make([]jobResult, len(jobs))
+	for i := range jobs {
+		p.Jobs[i] = jobs[i].GridJob
+		p.CellOf[i] = jobs[i].cell
+	}
+	return p
+}
+
+// PlanGrid expands specs into their job grid without executing anything.
+// internal/report plans the same grid a run store was created from to know
+// which jobs a log is missing and to aggregate records in canonical order.
+func PlanGrid(specs []ScenarioSpec) (*GridPlan, error) {
+	jobs, cells, err := expandGrid(specs)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(jobs, cells), nil
+}
+
+// Aggregate folds job outcomes into the plan's cells: repetition values are
+// summarized in plan order, so the result is independent of where the
+// outcomes came from (live execution, a resumed log, merged shard logs).
+// Jobs without an outcome are skipped; cells with no outcomes are dropped.
+func (p *GridPlan) Aggregate(outcomes map[GridJob]JobOutcome) *GridResult {
+	type acc struct {
+		routing, reconfig, total, elapsed []float64
+	}
+	accs := make([]acc, len(p.Cells))
+	for i, j := range p.Jobs {
+		o, ok := outcomes[j]
+		if !ok {
+			continue
+		}
+		a := &accs[p.CellOf[i]]
+		a.routing = append(a.routing, o.Routing)
+		a.reconfig = append(a.reconfig, o.Reconfig)
+		a.total = append(a.total, o.Routing+o.Reconfig)
+		a.elapsed = append(a.elapsed, o.ElapsedMS)
+	}
+	out := &GridResult{Rows: make([]GridRow, 0, len(p.Cells))}
+	for ci, a := range accs {
+		if len(a.routing) == 0 {
+			continue
+		}
+		row := p.Cells[ci]
+		row.Routing = stats.Summarize(a.routing)
+		row.Reconfig = stats.Summarize(a.reconfig)
+		row.Total = stats.Summarize(a.total)
+		row.ElapsedMS = stats.Summarize(a.elapsed)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// RunGrid validates the specs, expands the job grid and executes it on the
+// worker pool, honoring the durability hooks in opt (Lookup-resolved jobs
+// are skipped, executed jobs are handed to Persist, and sharding restricts
+// execution to this process's slice). All job errors are collected and
+// joined; after the first failure no new jobs are started (in-flight jobs
+// finish). On error the partial result is discarded — though every job
+// Persist saw is already durable.
+func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
+	jobs, cells, err := expandGrid(specs)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Shards > 1 && (opt.Shard < 0 || opt.Shard >= opt.Shards) {
+		return nil, fmt.Errorf("sim: shard %d/%d out of range", opt.Shard, opt.Shards)
+	}
+
+	// Partition (sharding) and short-circuit (resume) before execution.
+	outcomes := make(map[GridJob]JobOutcome, len(jobs))
+	var run []runtimeJob
+	for i := range jobs {
+		if opt.Shards > 1 && i%opt.Shards != opt.Shard {
+			continue
+		}
+		if opt.Lookup != nil {
+			if o, ok := opt.Lookup(jobs[i].GridJob); ok {
+				outcomes[jobs[i].GridJob] = o
+				continue
+			}
+		}
+		run = append(run, jobs[i])
+	}
+
+	results := make([]JobOutcome, len(run))
 	var (
-		mu   sync.Mutex // serializes Progress callbacks
+		mu   sync.Mutex // serializes Persist and Progress callbacks
 		done int
 	)
-	err := runPool(len(jobs), opt.Workers, func() func(int) error {
+	err = runPool(len(run), opt.Workers, func() func(int) error {
 		// Per-worker scratch: one chunk and one result buffer reused
 		// across every job — the bounded-memory contract.
 		chunk := trace.NewChunk(opt.ChunkSize)
 		var res RunResult
 		return func(ji int) error {
-			j := &jobs[ji]
-			err := runGridJob(j.spec, j.model, j.alg, j.GridJob, chunk, &res)
+			j := &run[ji]
+			err := runGridJob(j.spec, j.model, j.alg, j.GridJob, opt.CurvePoints, chunk, &res)
 			if err != nil {
 				err = fmt.Errorf("sim: grid %s: %w", j.GridJob, err)
 			} else {
-				r := &results[ji]
-				if n := len(res.Series.Routing); n > 0 {
-					r.routing = res.Series.Routing[n-1]
-					r.reconfig = res.Series.Reconfig[n-1]
+				results[ji] = jobOutcome(&res, opt.CurvePoints)
+			}
+			mu.Lock()
+			done++
+			if err == nil && opt.Persist != nil {
+				if perr := opt.Persist(j.GridJob, results[ji]); perr != nil {
+					err = fmt.Errorf("sim: grid %s: persisting: %w", j.GridJob, perr)
 				}
-				r.elapsed = res.Elapsed
 			}
 			if opt.Progress != nil {
-				mu.Lock()
-				done++
-				opt.Progress(done, len(jobs), j.GridJob, err)
-				mu.Unlock()
+				opt.Progress(done, len(run), j.GridJob, err)
 			}
+			mu.Unlock()
 			return err
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
+	for i := range run {
+		outcomes[run[i].GridJob] = results[i]
+	}
+	return newPlan(jobs, cells).Aggregate(outcomes), nil
+}
 
-	// Aggregate repetitions into rows.
-	for i := range results {
-		r := &results[i]
-		c := cells[jobs[i].cell]
-		c.routing = append(c.routing, r.routing)
-		c.reconfig = append(c.reconfig, r.reconfig)
-		c.total = append(c.total, r.routing+r.reconfig)
-		c.elapsed = append(c.elapsed, float64(r.elapsed)/float64(time.Millisecond))
+// jobOutcome snapshots a run result into a persistable outcome, copying
+// the curve out of the worker's reused buffers.
+func jobOutcome(res *RunResult, curvePoints int) JobOutcome {
+	o := JobOutcome{ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond)}
+	if n := len(res.Series.X); n > 0 {
+		o.Routing = res.Series.Routing[n-1]
+		o.Reconfig = res.Series.Reconfig[n-1]
 	}
-	out := &GridResult{Rows: make([]GridRow, 0, len(cells))}
-	for _, c := range cells {
-		c.row.Routing = stats.Summarize(c.routing)
-		c.row.Reconfig = stats.Summarize(c.reconfig)
-		c.row.Total = stats.Summarize(c.total)
-		c.row.ElapsedMS = stats.Summarize(c.elapsed)
-		out.Rows = append(out.Rows, c.row)
+	if curvePoints > 0 {
+		o.X = append([]int(nil), res.Series.X...)
+		o.RoutingCurve = append([]float64(nil), res.Series.Routing...)
+		o.ReconfigCurve = append([]float64(nil), res.Series.Reconfig...)
 	}
-	return out, nil
+	return o
+}
+
+// gridCheckpoints picks a job's checkpoint list: the full curve when the
+// grid records curves, otherwise the single end-of-trace checkpoint.
+func gridCheckpoints(total, curvePoints int) []int {
+	if total == 0 {
+		return nil
+	}
+	if curvePoints > 0 {
+		return Checkpoints(total, curvePoints)
+	}
+	return []int{total}
 }
 
 // runGridJob replays one grid job: it builds the job's own streaming
 // source (workers never share generator state) against the scenario's
-// pre-built model and records the final cumulative costs via the single
-// end-of-trace checkpoint.
-func runGridJob(spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, chunk *trace.CompiledChunk, res *RunResult) error {
+// pre-built model and records cumulative costs at the job's checkpoints.
+func runGridJob(spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, curvePoints int, chunk *trace.CompiledChunk, res *RunResult) error {
 	st, err := spec.NewStream()
 	if err != nil {
 		return err
@@ -219,11 +371,7 @@ func runGridJob(spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, 
 	if err != nil {
 		return err
 	}
-	cps := []int{src.Len()}
-	if src.Len() == 0 {
-		cps = nil
-	}
-	return runSourceInto(res, alg, src, spec.Alpha, cps, chunk)
+	return runSourceInto(res, alg, src, spec.Alpha, gridCheckpoints(src.Len(), curvePoints), chunk)
 }
 
 // WriteCSV emits the grid result as tidy CSV, one row per aggregated cell.

@@ -40,6 +40,12 @@ type ScenarioSpec struct {
 	Params map[string]float64 `json:"params,omitempty"`
 }
 
+// Normalize returns the spec with every optional field filled with its
+// default (alpha, algorithm line-up, repetition count). Persisted run
+// manifests store normalized specs, so a spec hash does not depend on
+// whether defaults were spelled out or omitted.
+func (s ScenarioSpec) Normalize() ScenarioSpec { return s.withDefaults() }
+
 // withDefaults fills the optional fields.
 func (s ScenarioSpec) withDefaults() ScenarioSpec {
 	if s.Alpha == 0 {

@@ -16,11 +16,6 @@ import (
 // cost curves are bit-identical to materialized replay (pinned by
 // stream_golden_test.go).
 
-// SourceFactory builds a fresh trace.Source. The grid scheduler calls it
-// once per job so parallel workers never share generator state; each source
-// must be an independent, identically seeded stream.
-type SourceFactory func() (trace.Source, error)
-
 // RunSource replays src through alg in chunks of chunkSize requests
 // (trace.DefaultChunkSize if <= 0), resetting the source first. Cost
 // curves are bit-identical to RunCompiled over the materialized trace.

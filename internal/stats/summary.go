@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -105,6 +106,19 @@ func Summarize(xs []float64) Summary {
 		}
 	}
 	return s
+}
+
+// MeanStd renders the summary as "mean ± std" in compact scientific
+// notation — the cell format of rendered report tables. An empty summary
+// renders as "-".
+func (s Summary) MeanStd() string {
+	if s.N == 0 {
+		return "-"
+	}
+	if s.N == 1 || s.Std == 0 {
+		return fmt.Sprintf("%.4g", s.Mean)
+	}
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.Std)
 }
 
 // Entropy returns the Shannon entropy (bits) of a discrete distribution

@@ -15,8 +15,13 @@ import (
 // beginning, and the concatenation of Next results is independent of the
 // batch sizes used to read it. Draining a stream therefore yields exactly
 // the trace the materialized generator of the same family and parameters
-// returns — FacebookStyle, Uniform, MicrosoftStyle, PhaseShift and
-// Permutation are all implemented as Collect over their stream.
+// returns: the paper-era constructors (FacebookStyle, Uniform,
+// MicrosoftStyle, PhaseShift, Permutation) are all implemented as Collect
+// over their stream, and the scenario families (diurnal, hotspot,
+// tenant-mix in scenario_streams.go) are streams from the start. The
+// contract is what makes replays resumable: a grid job interrupted and
+// re-run from its (family, parameters, seed) triple reproduces the same
+// requests, so persisted results stay valid (see internal/report).
 //
 // Streams are not safe for concurrent use; replays that run in parallel
 // each build their own stream from the same parameters.

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Docs-freshness check: every command inside README.md's ```sh blocks must
+# exit zero, so the README can never drift ahead of (or behind) the code.
+#
+# The commands run in a throwaway copy of the repository, so the stores,
+# CSVs and charts they write never touch the working tree. Commands whose
+# runtime has no place in a docs check are skipped by pattern:
+#   - `go test …`       (CI runs the suite directly)
+#   - bench suites      (CI runs the benchmark-regression job directly)
+#   - `-figure all`     (the full-scale figure regeneration, minutes long)
+#
+# Usage: scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_RE='go test|bench|-figure all'
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/repo"
+tar -c --exclude ./.git --exclude ./results --exclude ./runs . | tar -x -C "$tmp/repo"
+cd "$tmp/repo"
+
+# Every example must build even if the README never runs it.
+go build ./... ./examples/...
+
+mapfile -t cmds < <(awk '/^```sh$/{f=1;next} /^```/{f=0} f' README.md |
+	sed -e 's/[[:space:]]*#.*$//' -e 's/[[:space:]]*$//' | grep -v '^$' || true)
+if [ "${#cmds[@]}" -eq 0 ]; then
+	echo "check_docs: no sh code blocks found in README.md" >&2
+	exit 1
+fi
+
+ran=0
+for cmd in "${cmds[@]}"; do
+	if [[ "$cmd" =~ $SKIP_RE ]]; then
+		echo "SKIP  $cmd"
+		continue
+	fi
+	echo "RUN   $cmd"
+	if ! bash -c "$cmd" >/dev/null 2>"$tmp/stderr"; then
+		echo "check_docs: README command failed: $cmd" >&2
+		cat "$tmp/stderr" >&2
+		exit 1
+	fi
+	ran=$((ran + 1))
+done
+echo "check_docs: $ran README commands ran clean"

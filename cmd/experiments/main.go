@@ -28,6 +28,14 @@
 //
 //	experiments merge -out runs/merged runs/shard0 runs/shard1
 //	experiments report -store runs/merged [-stdout]
+//
+// The serve subcommand runs the experiment service: an HTTP/JSON API
+// that queues, deduplicates and executes submitted grids over a root of
+// run stores — identical spec lists are content-addressed cache hits,
+// interrupted grids resume after a restart, and per-job progress streams
+// over SSE (see internal/serve):
+//
+//	experiments serve -addr 127.0.0.1:8080 -store-root runs/serve -workers 2
 package main
 
 import (
@@ -54,12 +62,15 @@ func main() {
 		case "report":
 			reportMain(os.Args[2:])
 			return
+		case "serve":
+			serveMain(os.Args[2:])
+			return
 		default:
 			// Anything positional that is not a known subcommand must not
 			// fall through to figure mode (whose default is the full-scale
 			// `-figure all` run).
 			if !strings.HasPrefix(os.Args[1], "-") {
-				fatal(fmt.Errorf("unknown subcommand %q (have: grid, merge, report; figure mode takes flags only)", os.Args[1]))
+				fatal(fmt.Errorf("unknown subcommand %q (have: grid, merge, report, serve; figure mode takes flags only)", os.Args[1]))
 			}
 		}
 	}

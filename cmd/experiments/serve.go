@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"obm/internal/serve"
+)
+
+// serveMain implements the `experiments serve` subcommand: the
+// long-running experiment service. Clients POST the same ScenarioSpec
+// JSON a `grid -scenarios` file holds and get back a job keyed by the
+// run's spec hash; identical grids are served from the store root's
+// content-addressed cache, interrupted ones resume on restart.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("experiments serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		storeRoot   = fs.String("store-root", "runs/serve", "root directory holding one run store per job (the durable queue + result cache)")
+		workers     = fs.Int("workers", 1, "grids executed concurrently")
+		queueDepth  = fs.Int("queue", 16, "max queued jobs before submissions get 429")
+		gridWorkers = fs.Int("grid-workers", 0, "sim worker pool per grid (0 = GOMAXPROCS)")
+		chunk       = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
+		curvePts    = fs.Int("curve-points", 10, "cost-curve checkpoints per job (part of the job identity)")
+		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before in-flight grids are interrupted (they stay resumable)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: experiments serve [flags]\n\n"+
+			"Runs the experiment service: an HTTP/JSON API that queues, caches and\n"+
+			"executes scenario grids over the durable run-store layer.\n\n"+
+			"  POST /api/v1/jobs                  submit a ScenarioSpec JSON list\n"+
+			"  GET  /api/v1/jobs                  list jobs\n"+
+			"  GET  /api/v1/jobs/{id}             job status\n"+
+			"  GET  /api/v1/jobs/{id}/events      SSE progress stream\n"+
+			"  GET  /api/v1/jobs/{id}/summary.csv rendered artifacts of done jobs\n"+
+			"  GET  /api/v1/jobs/{id}/report.md\n"+
+			"  GET  /api/v1/jobs/{id}/curves.json\n"+
+			"  GET  /healthz\n\n"+
+			"Identical spec lists dedupe onto one job (the run's SHA-256 spec hash);\n"+
+			"a finished job is a cache hit, across restarts. On SIGINT/SIGTERM the\n"+
+			"service drains in-flight grids, then interrupts them at a chunk\n"+
+			"boundary — every completed grid job is already persisted, so a restart\n"+
+			"on the same -store-root resumes mid-grid.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+
+	s, err := serve.New(serve.Options{
+		StoreRoot:   *storeRoot,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		GridWorkers: *gridWorkers,
+		ChunkSize:   *chunk,
+		CurvePoints: *curvePts,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s (store root %s)\n", ln.Addr(), *storeRoot)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "serve: %s — draining (budget %s)\n", sig, *drain)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Service and HTTP shutdown run concurrently: the service closes its
+	// stop channel first thing, which ends open SSE streams — otherwise a
+	// single `curl -N .../events` client would hold srv.Shutdown (and the
+	// whole drain budget) hostage.
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- s.Shutdown(ctx) }()
+	srv.Shutdown(ctx)
+	if err := <-svcDone; err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "serve: stopped")
+}

@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -70,35 +69,11 @@ func openOrCreateStore(dir string, specs []sim.ScenarioSpec, curvePoints int, sh
 // renderStore writes the store's summary.csv and report.md next to its
 // log, so a finished run documents itself.
 func renderStore(st *report.Store) error {
-	res, err := st.Result()
+	csvPath, mdPath, err := st.Render()
 	if err != nil {
-		return err
-	}
-	csvPath := filepath.Join(st.Dir(), "summary.csv")
-	f, err := os.Create(csvPath)
-	if err != nil {
-		return err
-	}
-	if err := report.WriteSummaryCSV(f, res); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("  wrote %s\n", csvPath)
-	mdPath := filepath.Join(st.Dir(), "report.md")
-	f, err = os.Create(mdPath)
-	if err != nil {
-		return err
-	}
-	if err := st.WriteReport(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
 	fmt.Printf("  wrote %s\n", mdPath)
 	return nil
 }

@@ -6,12 +6,21 @@
 //
 //	tracegen -workload facebook-hadoop -racks 100 -requests 185000 \
 //	         -seed 1 -format csv -out hadoop.csv
+//	tracegen -workload uniform -requests 100000000 -stream -out huge.csv
 //	tracegen -analyze hadoop.csv
+//
+// With -stream the trace is drained from its resumable generator chunk by
+// chunk straight into the output file — memory stays O(1) however many
+// requests are written, so traces far larger than RAM are fine. The bytes
+// written are identical to the materialized path for the same parameters
+// (the stream contract); the trade-off is that the structure statistics,
+// which need the whole trace in memory, are skipped.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"obm/internal/trace"
@@ -25,6 +34,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		format   = flag.String("format", "csv", "output format: csv or bin")
 		out      = flag.String("out", "", "output file ('' = stdout, csv only)")
+		stream   = flag.Bool("stream", false, "stream the trace to the output chunk by chunk (O(1) memory, skips statistics)")
 		analyze  = flag.String("analyze", "", "analyze an existing CSV trace instead of generating")
 	)
 	flag.Parse()
@@ -43,43 +53,75 @@ func main() {
 		return
 	}
 
+	if *stream {
+		st, err := newStream(*workload, *racks, *requests, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace %q: %d racks, %d requests (streamed)\n",
+			st.Name(), st.NumRacks(), st.Len())
+		if err := writeTo(*format, *out, func(w io.Writer) error {
+			if *format == "bin" {
+				return trace.WriteBinaryStream(w, st)
+			}
+			return trace.WriteCSVStream(w, st)
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	tr, err := generate(*workload, *racks, *requests, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	printStats(tr)
-	switch *format {
+	if err := writeTo(*format, *out, func(w io.Writer) error {
+		if *format == "bin" {
+			return trace.WriteBinary(w, tr)
+		}
+		return trace.WriteCSV(w, tr)
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+// writeTo resolves the -format/-out flags into a writer and runs write
+// against it.
+func writeTo(format, out string, write func(io.Writer) error) error {
+	switch format {
 	case "csv":
 		w := os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
+		if out != "" {
+			f, err := os.Create(out)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			defer f.Close()
 			w = f
 		}
-		if err := trace.WriteCSV(w, tr); err != nil {
-			fatal(err)
+		if err := write(w); err != nil {
+			return err
 		}
 	case "bin":
-		if *out == "" {
-			fatal(fmt.Errorf("binary format requires -out"))
+		if out == "" {
+			return fmt.Errorf("binary format requires -out")
 		}
-		f, err := os.Create(*out)
+		f, err := os.Create(out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
-		if err := trace.WriteBinary(f, tr); err != nil {
-			fatal(err)
+		if err := write(f); err != nil {
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+		return fmt.Errorf("unknown format %q", format)
 	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	}
+	return nil
 }
 
 func generate(workload string, racks, requests int, seed uint64) (*trace.Trace, error) {
@@ -102,6 +144,34 @@ func generate(workload string, racks, requests int, seed uint64) (*trace.Trace, 
 		return trace.Uniform(racks, requests, seed), nil
 	case "permutation":
 		return trace.Permutation(racks, requests, seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+// newStream maps a workload preset onto its resumable generator — the
+// same parameters as generate, never materialized. Every materialized
+// preset has a streaming twin by construction (the materialized
+// generators are Collect over these very streams).
+func newStream(workload string, racks, requests int, seed uint64) (trace.Stream, error) {
+	switch workload {
+	case "facebook-database":
+		p := trace.FacebookPreset(trace.Database, racks, seed)
+		p.Requests = requests
+		return trace.NewFacebookStream(p)
+	case "facebook-webservice":
+		p := trace.FacebookPreset(trace.WebService, racks, seed)
+		p.Requests = requests
+		return trace.NewFacebookStream(p)
+	case "facebook-hadoop":
+		p := trace.FacebookPreset(trace.Hadoop, racks, seed)
+		p.Requests = requests
+		return trace.NewFacebookStream(p)
+	case "microsoft":
+		return trace.NewMicrosoftStream(racks, requests, seed)
+	case "uniform":
+		return trace.NewUniformStream(racks, requests, seed)
+	case "permutation":
+		return trace.NewPermutationStream(racks, requests, seed)
 	}
 	return nil, fmt.Errorf("unknown workload %q", workload)
 }

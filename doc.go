@@ -37,7 +37,13 @@
 // logs into one store), and self-documenting (`experiments report`
 // renders Markdown summary tables and ASCII cost curves). Resume and
 // merge are guarded by a SHA-256 spec hash so a store never absorbs
-// results from a different grid.
+// results from a different grid. On top of the stores sits the experiment
+// service (internal/serve, `experiments serve`): an HTTP/JSON API that
+// queues submitted grids on a bounded worker pool, deduplicates them by
+// spec hash into a content-addressed result cache (an identical grid
+// submitted twice — even across restarts — is served from its finished
+// store), streams per-job progress over SSE, and recovers interrupted
+// grids mid-run after a crash or graceful shutdown.
 //
 // Seed reproducibility. Every randomized component draws from a stats.Rand
 // seeded explicitly; identical seeds give bit-for-bit identical runs,

@@ -3,6 +3,8 @@ package report
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"obm/internal/figures"
 	"obm/internal/sim"
@@ -101,6 +103,89 @@ func (s *Store) WriteReport(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Render writes the store's summary.csv (deterministic per-cell costs)
+// and report.md (tables + ASCII cost curves) into the store directory,
+// returning the paths written. It is how a finished run documents itself
+// — `experiments grid/merge/report` and the experiment service all call
+// it.
+func (s *Store) Render() (csvPath, mdPath string, err error) {
+	res, err := s.Result()
+	if err != nil {
+		return "", "", err
+	}
+	csvPath = filepath.Join(s.dir, "summary.csv")
+	if err := writeFileWith(csvPath, func(w io.Writer) error {
+		return WriteSummaryCSV(w, res)
+	}); err != nil {
+		return "", "", err
+	}
+	mdPath = filepath.Join(s.dir, "report.md")
+	if err := writeFileWith(mdPath, s.WriteReport); err != nil {
+		return "", "", err
+	}
+	return csvPath, mdPath, nil
+}
+
+// writeFileWith streams write into path atomically (temp file + rename,
+// like writeManifest): readers — including concurrent re-renders racing
+// over an HTTP artifact endpoint — only ever see a complete file.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// CellCurve is one aggregated cost curve: a (scenario, algorithm, b)
+// cell's checkpointed cumulative costs averaged over its recorded
+// repetitions. It is the JSON-friendly form the experiment service's
+// curve endpoint returns.
+type CellCurve struct {
+	Scenario string    `json:"scenario"`
+	Alg      string    `json:"alg"`
+	B        int       `json:"b"`
+	Reps     int       `json:"reps"`
+	X        []int     `json:"x"`
+	Routing  []float64 `json:"routing"`
+	Reconfig []float64 `json:"reconfig"`
+}
+
+// CellCurves returns every cell's averaged cost curve, in canonical plan
+// order. Cells with no recorded curves (or inconsistent checkpoint lists)
+// are skipped; a store created with CurvePoints == 0 yields none.
+func (s *Store) CellCurves() ([]CellCurve, error) {
+	plan, err := s.manifest.Plan()
+	if err != nil {
+		return nil, err
+	}
+	outcomes := s.Outcomes()
+	var out []CellCurve
+	for _, spec := range s.manifest.Specs {
+		for _, c := range scenarioCurves(plan, outcomes, spec.Name) {
+			out = append(out, CellCurve{
+				Scenario: spec.Name,
+				Alg:      c.Alg,
+				B:        c.B,
+				Reps:     c.Avg.Reps,
+				X:        c.Avg.X,
+				Routing:  c.Avg.Routing,
+				Reconfig: c.Avg.Reconfig,
+			})
+		}
+	}
+	return out, nil
 }
 
 func shardJobsLabel(m Manifest) string {

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -283,7 +284,16 @@ func (s *Store) GridOptions(base sim.GridOptions) sim.GridOptions {
 // covers every outcome the store now holds (for a sharded store, its
 // slice of the grid).
 func (s *Store) Run(base sim.GridOptions) (*sim.GridResult, error) {
-	return sim.RunGrid(s.manifest.Specs, s.GridOptions(base))
+	return s.RunContext(context.Background(), base)
+}
+
+// RunContext is Run under a context: cancelling ctx stops the grid at the
+// next chunk boundary and leaves the store partial-but-persisted — every
+// job appended before the cancellation survives, and a later RunContext
+// on the re-opened store resumes exactly where this one stopped (see
+// sim.RunGridContext).
+func (s *Store) RunContext(ctx context.Context, base sim.GridOptions) (*sim.GridResult, error) {
+	return sim.RunGridContext(ctx, s.manifest.Specs, s.GridOptions(base))
 }
 
 // Sync flushes the append log to stable storage.

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"obm/internal/sim"
+)
+
+// The HTTP/JSON API. All job-scoped routes key on the job id, which is
+// the run's full SHA-256 spec hash:
+//
+//	GET  /healthz                      liveness + queue counters
+//	POST /api/v1/jobs                  submit a ScenarioSpec JSON list
+//	GET  /api/v1/jobs                  list all jobs
+//	GET  /api/v1/jobs/{id}             one job's status
+//	GET  /api/v1/jobs/{id}/events      SSE progress stream
+//	GET  /api/v1/jobs/{id}/summary.csv rendered summary (done jobs)
+//	GET  /api/v1/jobs/{id}/report.md   rendered Markdown report (done jobs)
+//	GET  /api/v1/jobs/{id}/curves.json aggregated cost-curve points (done jobs)
+
+// Handler returns the service's HTTP handler, ready to mount on an
+// http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.withJob(s.handleStatus))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.withJob(s.serveEvents))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/summary.csv", s.withJob(s.artifact("summary.csv", "text/csv; charset=utf-8")))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/report.md", s.withJob(s.artifact("report.md", "text/markdown; charset=utf-8")))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/curves.json", s.withJob(s.handleCurves))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var queued, running, done, failed int
+	for _, st := range s.Jobs() {
+		switch st.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"queued":  queued,
+		"running": running,
+		"done":    done,
+		"failed":  failed,
+	})
+}
+
+// handleSubmit accepts the same ScenarioSpec JSON list `experiments grid
+// -scenarios` reads. Responses: 200 with cached=true when the identical
+// grid already finished, 202 when it is queued or running (first
+// submission or duplicate), 400 on invalid specs, 429 when the queue is
+// full, 503 during shutdown.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	specs, err := sim.ReadScenarios(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.Submit(specs)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrStorage):
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	case err != nil: // invalid specs (manifest/plan validation)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+// withJob resolves the {id} path segment to a job, 404ing unknown ids.
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.lookup(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, j *job) {
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// requireDone gates artifact endpoints: artifacts exist only for finished
+// jobs (409 otherwise, with the job's status in the body so clients can
+// poll the same URL).
+func requireDone(w http.ResponseWriter, j *job) bool {
+	st := j.status()
+	if st.State == StateDone {
+		return true
+	}
+	writeJSON(w, http.StatusConflict, st)
+	return false
+}
+
+// artifact serves a rendered file from the job's store directory,
+// re-rendering on demand when it is missing (a previous process may have
+// completed the grid but died before rendering).
+func (s *Server) artifact(name, contentType string) func(http.ResponseWriter, *http.Request, *job) {
+	return func(w http.ResponseWriter, r *http.Request, j *job) {
+		if !requireDone(w, j) {
+			return
+		}
+		path := filepath.Join(j.dir, name)
+		if _, err := os.Stat(path); err != nil {
+			if rerr := s.render(j); rerr != nil {
+				httpError(w, http.StatusInternalServerError, "rendering %s: %v", name, rerr)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", contentType)
+		http.ServeFile(w, r, path)
+	}
+}
+
+// render re-renders a done job's artifacts from its store.
+func (s *Server) render(j *job) error {
+	store, err := s.openStore(j)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	_, _, err = store.Render()
+	return err
+}
+
+// handleCurves serves the job's aggregated cost-curve points: one entry
+// per (scenario, alg, b) cell, averaged over repetitions.
+func (s *Server) handleCurves(w http.ResponseWriter, r *http.Request, j *job) {
+	if !requireDone(w, j) {
+		return
+	}
+	store, err := s.openStore(j)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer store.Close()
+	curves, err := store.CellCurves()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"curves": curves})
+}

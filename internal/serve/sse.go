@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// hub fans a job's status updates out to its SSE subscribers. Slow
+// subscribers never block the grid: every event is a full status
+// snapshot, so dropping one in favor of a newer one loses nothing.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan Status]struct{}
+	last   *Status // latest snapshot, replayed to new subscribers
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan Status]struct{})}
+}
+
+// subscribe registers a new subscriber. The latest snapshot (if any) is
+// already buffered on the returned channel; done reports whether the hub
+// is closed (terminal state reached) — the snapshot still delivers.
+func (h *hub) subscribe() (ch chan Status, done bool, cancel func()) {
+	ch = make(chan Status, 8)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.last != nil {
+		ch <- *h.last
+	}
+	if h.closed {
+		close(ch)
+		return ch, true, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	return ch, false, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		delete(h.subs, ch)
+	}
+}
+
+// publish snapshots st to every subscriber, dropping the event for
+// subscribers whose buffer is full (the next snapshot supersedes it).
+func (h *hub) publish(st Status) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last = &st
+	for ch := range h.subs {
+		select {
+		case ch <- st:
+		default:
+		}
+	}
+}
+
+// close marks the job terminal: subscribers' channels are closed after
+// the final snapshot, ending their SSE responses.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+}
+
+// serveEvents streams a job's progress as Server-Sent Events: one
+// `progress` event per status change and a final `done` or `failed`
+// event when the job reaches a terminal state, after which the response
+// ends. A reconnecting client just re-subscribes — every event is a full
+// snapshot.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch, done, cancel := j.events().subscribe()
+	defer cancel()
+	writeEvent := func(st Status) {
+		name := "progress"
+		switch st.State {
+		case StateDone:
+			name = "done"
+		case StateFailed:
+			name = "failed"
+		}
+		blob, _ := json.Marshal(st)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, blob)
+		fl.Flush()
+	}
+	if done {
+		// Terminal before we attached: emit the final snapshot and finish.
+		for st := range ch {
+			writeEvent(st)
+		}
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case st, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeEvent(st)
+			if st.State == StateDone || st.State == StateFailed {
+				return
+			}
+		}
+	}
+}

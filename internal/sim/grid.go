@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -262,6 +263,19 @@ func (p *GridPlan) Aggregate(outcomes map[GridJob]JobOutcome) *GridResult {
 // finish). On error the partial result is discarded — though every job
 // Persist saw is already durable.
 func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
+	return RunGridContext(context.Background(), specs, opt)
+}
+
+// RunGridContext is RunGrid under a context. Cancelling ctx stops the
+// grid promptly: no new jobs are fed to the pool, and in-flight jobs
+// abort at their next chunk boundary instead of replaying to the end.
+// Jobs that completed (and were handed to Persist) before the
+// cancellation stay valid — a store-backed run is left
+// partial-but-persisted, ready to be resumed. On cancellation the
+// returned result aggregates exactly those completed jobs and err wraps
+// ctx.Err(); job errors caused by the cancellation itself are not
+// reported as failures.
+func RunGridContext(ctx context.Context, specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
 	jobs, cells, err := expandGrid(specs)
 	if err != nil {
 		return nil, err
@@ -287,18 +301,19 @@ func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
 	}
 
 	results := make([]JobOutcome, len(run))
+	completed := make([]bool, len(run))
 	var (
 		mu   sync.Mutex // serializes Persist and Progress callbacks
 		done int
 	)
-	err = runPool(len(run), opt.Workers, func() func(int) error {
+	err = runPool(ctx, len(run), opt.Workers, func() func(int) error {
 		// Per-worker scratch: one chunk and one result buffer reused
 		// across every job — the bounded-memory contract.
 		chunk := trace.NewChunk(opt.ChunkSize)
 		var res RunResult
 		return func(ji int) error {
 			j := &run[ji]
-			err := runGridJob(j.spec, j.model, j.alg, j.GridJob, opt.CurvePoints, chunk, &res)
+			err := runGridJob(ctx, j.spec, j.model, j.alg, j.GridJob, opt.CurvePoints, chunk, &res)
 			if err != nil {
 				err = fmt.Errorf("sim: grid %s: %w", j.GridJob, err)
 			} else {
@@ -311,6 +326,9 @@ func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
 					err = fmt.Errorf("sim: grid %s: persisting: %w", j.GridJob, perr)
 				}
 			}
+			if err == nil {
+				completed[ji] = true
+			}
 			if opt.Progress != nil {
 				opt.Progress(done, len(run), j.GridJob, err)
 			}
@@ -318,6 +336,18 @@ func RunGrid(specs []ScenarioSpec, opt GridOptions) (*GridResult, error) {
 			return err
 		}
 	})
+	if cerr := ctx.Err(); cerr != nil {
+		// A cancelled grid is not a failed grid: aggregate what finished
+		// (all of it already persisted) and report the cancellation. Real
+		// job failures that raced with the cancellation are subsumed — the
+		// caller asked the grid to stop, and a resume will resurface them.
+		for i := range run {
+			if completed[i] {
+				outcomes[run[i].GridJob] = results[i]
+			}
+		}
+		return newPlan(jobs, cells).Aggregate(outcomes), fmt.Errorf("sim: grid interrupted: %w", cerr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +388,7 @@ func gridCheckpoints(total, curvePoints int) []int {
 // runGridJob replays one grid job: it builds the job's own streaming
 // source (workers never share generator state) against the scenario's
 // pre-built model and records cumulative costs at the job's checkpoints.
-func runGridJob(spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, curvePoints int, chunk *trace.CompiledChunk, res *RunResult) error {
+func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, curvePoints int, chunk *trace.CompiledChunk, res *RunResult) error {
 	st, err := spec.NewStream()
 	if err != nil {
 		return err
@@ -371,7 +401,7 @@ func runGridJob(spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, 
 	if err != nil {
 		return err
 	}
-	return runSourceInto(res, alg, src, spec.Alpha, gridCheckpoints(src.Len(), curvePoints), chunk)
+	return runSourceInto(ctx, res, alg, src, spec.Alpha, gridCheckpoints(src.Len(), curvePoints), chunk)
 }
 
 // WriteCSV emits the grid result as tidy CSV, one row per aggregated cell.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"obm/internal/core"
@@ -38,7 +39,7 @@ func RunExperimentParallel(cfg Config, specs []AlgSpec, workers int) (*Result, e
 		}
 	}
 	curves := make([]Curve, len(jobs))
-	err = runPool(len(jobs), workers, func() func(int) error {
+	err = runPool(context.Background(), len(jobs), workers, func() func(int) error {
 		var sc scratch // per-worker: reused across every job and repetition
 		return func(ji int) error {
 			j := jobs[ji]

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -10,10 +11,11 @@ import (
 // returns every job error joined in job order (nil if all succeeded).
 // newWorker is called once per worker goroutine and returns the job
 // function, closing over that worker's scratch buffers. After the first
-// failure no further jobs are started; jobs already handed to a worker
-// finish and their errors are collected too. workers <= 0 selects
+// failure — or once ctx is cancelled — no further jobs are started; jobs
+// already handed to a worker finish (a cancelled ctx makes ctx-aware jobs
+// return early) and their errors are collected too. workers <= 0 selects
 // GOMAXPROCS.
-func runPool(nJobs, workers int, newWorker func() func(job int) error) error {
+func runPool(ctx context.Context, nJobs, workers int, newWorker func() func(job int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -43,6 +45,8 @@ feed:
 		select {
 		case ch <- ji:
 		case <-quit:
+			break feed
+		case <-ctx.Done():
 			break feed
 		}
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,7 +22,7 @@ import (
 // curves are bit-identical to RunCompiled over the materialized trace.
 func RunSource(alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunkSize int) (RunResult, error) {
 	var res RunResult
-	if err := runSourceInto(&res, alg, src, alpha, checkpoints, trace.NewChunk(chunkSize)); err != nil {
+	if err := runSourceInto(context.Background(), &res, alg, src, alpha, checkpoints, trace.NewChunk(chunkSize)); err != nil {
 		return RunResult{}, err
 	}
 	return res, nil
@@ -30,7 +31,11 @@ func RunSource(alg core.Algorithm, src trace.Source, alpha float64, checkpoints 
 // runSourceInto is RunSource writing into reusable result and chunk
 // buffers: a (result, chunk) pair recycled across repetitions stops
 // allocating once warm, which is what keeps streamed replay O(chunk).
-func runSourceInto(res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk) error {
+// Cancellation is honored at chunk boundaries — a cancelled ctx aborts
+// the replay within one chunk's worth of requests, never mid-chunk, so
+// costs are either complete or discarded (a partial replay is an error,
+// not a shorter curve).
+func runSourceInto(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk) error {
 	if err := validateCheckpoints(checkpoints, src.Len()); err != nil {
 		return err
 	}
@@ -47,6 +52,9 @@ func runSourceInto(res *RunResult, alg core.Algorithm, src trace.Source, alpha f
 	// against thousands of Serve calls.
 	var elapsed time.Duration
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n, err := src.Next(chunk)
 		if err == io.EOF {
 			break
@@ -88,6 +96,6 @@ func runSourceInto(res *RunResult, alg core.Algorithm, src trace.Source, alpha f
 func RunAveragedSource(f AlgFactory, src trace.Source, alpha float64, checkpoints []int, reps, chunkSize int) (Averaged, error) {
 	chunk := trace.NewChunk(chunkSize)
 	return runAveraged(f, reps, nil, func(res *RunResult, alg core.Algorithm) error {
-		return runSourceInto(res, alg, src, alpha, checkpoints, chunk)
+		return runSourceInto(context.Background(), res, alg, src, alpha, checkpoints, chunk)
 	})
 }

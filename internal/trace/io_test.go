@@ -127,3 +127,75 @@ func TestAnalyzePointMass(t *testing.T) {
 		t.Fatalf("Top10Share = %v, want 1", c.Top10Share)
 	}
 }
+
+// TestStreamWritersMatchMaterialized: the streaming writers must emit
+// byte-identical files to their materialized twins over Collect of the
+// same stream — the stream contract, applied to trace I/O.
+func TestStreamWritersMatchMaterialized(t *testing.T) {
+	streams := []func() Stream{
+		func() Stream { s, _ := NewUniformStream(10, 700, 5); return s },
+		func() Stream { s, _ := NewMicrosoftStream(12, 600, 6); return s },
+		func() Stream { s, _ := NewPermutationStream(8, 500, 7); return s },
+		func() Stream {
+			p := FacebookPreset(Hadoop, 14, 8)
+			p.Requests = 650
+			s, _ := NewFacebookStream(p)
+			return s
+		},
+	}
+	for _, mk := range streams {
+		s := mk()
+		tr := Collect(mk())
+
+		var matCSV, strCSV bytes.Buffer
+		if err := WriteCSV(&matCSV, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSVStream(&strCSV, s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(matCSV.Bytes(), strCSV.Bytes()) {
+			t.Errorf("%s: streamed CSV differs from materialized", s.Name())
+		}
+
+		var matBin, strBin bytes.Buffer
+		if err := WriteBinary(&matBin, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteBinaryStream(&strBin, s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(matBin.Bytes(), strBin.Bytes()) {
+			t.Errorf("%s: streamed binary differs from materialized", s.Name())
+		}
+
+		// And the streamed binary reads back as the collected trace.
+		got, err := ReadBinary(&strBin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != tr.Len() || got.NumRacks != tr.NumRacks {
+			t.Errorf("%s: read-back mismatch: %d/%d racks %d/%d",
+				s.Name(), got.Len(), tr.Len(), got.NumRacks, tr.NumRacks)
+		}
+	}
+}
+
+// TestWriteCSVStreamIsResumable: writing twice from the same stream
+// instance yields identical output (the writer resets the stream).
+func TestWriteCSVStreamIsResumable(t *testing.T) {
+	s, err := NewUniformStream(6, 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteCSVStream(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSVStream(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("second streamed write differs from the first")
+	}
+}

@@ -36,6 +36,14 @@
 // over SSE (see internal/serve):
 //
 //	experiments serve -addr 127.0.0.1:8080 -store-root runs/serve -workers 2
+//
+// The worker subcommand joins a fleet draining that service's grids: it
+// leases shards (slices of a grid's job plan) from the coordinator,
+// executes them locally, and uploads the shard logs; expired leases are
+// requeued, so workers can be added and killed freely (see internal/work
+// and docs/OPERATIONS.md):
+//
+//	experiments worker -coordinator http://127.0.0.1:8080 -capacity 2
 package main
 
 import (
@@ -65,12 +73,15 @@ func main() {
 		case "serve":
 			serveMain(os.Args[2:])
 			return
+		case "worker":
+			workerMain(os.Args[2:])
+			return
 		default:
 			// Anything positional that is not a known subcommand must not
 			// fall through to figure mode (whose default is the full-scale
 			// `-figure all` run).
 			if !strings.HasPrefix(os.Args[1], "-") {
-				fatal(fmt.Errorf("unknown subcommand %q (have: grid, merge, report, serve; figure mode takes flags only)", os.Args[1]))
+				fatal(fmt.Errorf("unknown subcommand %q (have: grid, merge, report, serve, worker; figure mode takes flags only)", os.Args[1]))
 			}
 		}
 	}

@@ -24,11 +24,13 @@ func serveMain(args []string) {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
 		storeRoot   = fs.String("store-root", "runs/serve", "root directory holding one run store per job (the durable queue + result cache)")
-		workers     = fs.Int("workers", 1, "grids executed concurrently")
+		workers     = fs.Int("workers", 1, "grids executed concurrently by this process (0 = coordinator-only: grids progress via fleet workers)")
 		queueDepth  = fs.Int("queue", 16, "max queued jobs before submissions get 429")
 		gridWorkers = fs.Int("grid-workers", 0, "sim worker pool per grid (0 = GOMAXPROCS)")
 		chunk       = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
 		curvePts    = fs.Int("curve-points", 10, "cost-curve checkpoints per job (part of the job identity)")
+		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "fleet shard-lease TTL: a worker missing heartbeats this long is presumed dead and its shard requeued")
+		shardSize   = fs.Int("shard-size", 16, "target grid jobs per leasable fleet shard")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before in-flight grids are interrupted (they stay resumable)")
 	)
 	fs.Usage = func() {
@@ -42,18 +44,27 @@ func serveMain(args []string) {
 			"  GET  /api/v1/jobs/{id}/summary.csv rendered artifacts of done jobs\n"+
 			"  GET  /api/v1/jobs/{id}/report.md\n"+
 			"  GET  /api/v1/jobs/{id}/curves.json\n"+
+			"  POST /api/v1/jobs/{id}/lease       fleet protocol (experiments worker)\n"+
+			"  POST /api/v1/jobs/{id}/shards/{k}/heartbeat\n"+
+			"  POST /api/v1/jobs/{id}/shards/{k}/complete\n"+
+			"  GET  /api/v1/jobs/{id}/shards      shard/lease states\n"+
 			"  GET  /healthz\n\n"+
 			"Identical spec lists dedupe onto one job (the run's SHA-256 spec hash);\n"+
-			"a finished job is a cache hit, across restarts. On SIGINT/SIGTERM the\n"+
-			"service drains in-flight grids, then interrupts them at a chunk\n"+
-			"boundary — every completed grid job is already persisted, so a restart\n"+
-			"on the same -store-root resumes mid-grid.\n\n")
+			"a finished job is a cache hit, across restarts. Grids execute on this\n"+
+			"process's pool (-workers) and/or on a fleet of `experiments worker`\n"+
+			"processes leasing shards of -shard-size grid jobs under -lease-ttl.\n"+
+			"On SIGINT/SIGTERM the service drains in-flight grids, then interrupts\n"+
+			"them at a chunk boundary — every completed grid job is already\n"+
+			"persisted, so a restart on the same -store-root resumes mid-grid.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
 
+	if *workers == 0 {
+		*workers = -1 // flag 0 = coordinator-only; Options uses negative for it
+	}
 	s, err := serve.New(serve.Options{
 		StoreRoot:   *storeRoot,
 		Workers:     *workers,
@@ -61,6 +72,8 @@ func serveMain(args []string) {
 		GridWorkers: *gridWorkers,
 		ChunkSize:   *chunk,
 		CurvePoints: *curvePts,
+		LeaseTTL:    *leaseTTL,
+		ShardSize:   *shardSize,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"obm/internal/work"
+)
+
+// workerMain implements the `experiments worker` subcommand: a fleet
+// worker that connects to a running `experiments serve` coordinator,
+// leases shards of submitted grids, executes them against local shard
+// stores, and uploads the logs. Any number of workers — on any number of
+// machines that can reach the coordinator — drain the same grid
+// cooperatively; killing a worker at any point loses no results.
+func workerMain(args []string) {
+	fs := flag.NewFlagSet("experiments worker", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "base URL of the experiment service (required), e.g. http://127.0.0.1:8080")
+		capacity    = fs.Int("capacity", 1, "shard leases executed concurrently by this worker")
+		workdir     = fs.String("workdir", "work", "directory for in-flight shard stores (kept across restarts for resume)")
+		name        = fs.String("name", "", "worker name in coordinator logs (default <hostname>-<pid>)")
+		gridWorkers = fs.Int("grid-workers", 0, "sim worker pool per shard (0 = GOMAXPROCS)")
+		chunk       = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
+		poll        = fs.Duration("poll", 2*time.Second, "idle wait between lease attempts when nothing is leasable")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: experiments worker -coordinator URL [flags]\n\n"+
+			"Runs a fleet worker against an `experiments serve` coordinator: it\n"+
+			"leases shards of submitted grids (POST /api/v1/jobs/{id}/lease),\n"+
+			"executes each as a local sharded run store, heartbeats to keep the\n"+
+			"lease alive, and uploads the shard's jobs.jsonl on completion.\n\n"+
+			"Workers are disposable: a killed worker's lease expires and its shard\n"+
+			"is re-leased to another worker; exact-agreement checks on the\n"+
+			"coordinator make duplicate executions safe, so the merged summary is\n"+
+			"byte-identical to a single-process run. On SIGINT/SIGTERM the worker\n"+
+			"aborts in-flight shards at a chunk boundary and keeps their local\n"+
+			"stores, so restarting it resumes its own partial work.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *coordinator == "" {
+		fs.Usage()
+		fatal(fmt.Errorf("worker: -coordinator is required"))
+	}
+
+	r, err := work.New(work.Options{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Capacity:    *capacity,
+		Dir:         *workdir,
+		GridWorkers: *gridWorkers,
+		ChunkSize:   *chunk,
+		Poll:        *poll,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	completed, err := r.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "worker: stopped (%d shards completed)\n", completed)
+}

@@ -244,6 +244,24 @@ func TestCmdTracegenStreamSmoke(t *testing.T) {
 	}
 }
 
+// TestCmdExperimentsWorkerSmoke checks the worker subcommand's wiring:
+// it must refuse to start without a coordinator and print its usage.
+// The full coordinator+fleet path is covered by internal/work's
+// acceptance test and scripts/smoke_distributed.sh in CI.
+func TestCmdExperimentsWorkerSmoke(t *testing.T) {
+	bin := buildBinary(t, "cmd/experiments")
+	cmd := exec.Command(bin, "worker")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("worker without -coordinator succeeded:\n%s", out)
+	}
+	for _, want := range []string{"-coordinator is required", "leases shards"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("worker usage output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestCmdExperimentsServeSmoke boots the experiment service, submits a
 // tiny grid over HTTP, polls it to completion, fetches the summary, and
 // verifies the second submission is a cache hit.

@@ -45,6 +45,16 @@
 // store), streams per-job progress over SSE, and recovers interrupted
 // grids mid-run after a crash or graceful shutdown.
 //
+// Distributed execution. The service doubles as a coordinator: it
+// partitions each grid into leasable shards, and a fleet of worker
+// processes (internal/work, `experiments worker`) drains them
+// cooperatively — lease over HTTP, execute as a local shard store,
+// heartbeat, upload the log. Expired leases requeue (at-least-once),
+// and every duplicate record is verified bit-for-bit on absorption, so
+// the merged summary is byte-identical to a single-process run
+// regardless of worker count, crashes or duplicate completions.
+// docs/OPERATIONS.md is the operator runbook.
+//
 // Seed reproducibility. Every randomized component draws from a stats.Rand
 // seeded explicitly; identical seeds give bit-for-bit identical runs,
 // independent of Go version, map iteration order, or internal

@@ -18,7 +18,9 @@
 // store loads the log through sim.GridOptions.Lookup and executes only
 // the missing jobs, and logs produced by disjoint shards of the grid
 // (sim.GridOptions.Shard/Shards) merge into one full-grid store whose
-// aggregated results are byte-identical to a single-process run.
+// aggregated results are byte-identical to a single-process run —
+// either offline via Merge, or incrementally via Store.Absorb (how the
+// experiment service folds uploaded fleet shard logs).
 //
 // The append log is crash-safe by construction: each record is one
 // write() of one newline-terminated JSON line, so a crash can lose at
@@ -145,6 +147,12 @@ func (m *Manifest) Plan() (*sim.GridPlan, error) {
 // ownsJob reports whether plan index i belongs to the manifest's shard.
 func (m *Manifest) ownsJob(i int) bool {
 	return m.Shard.IsFull() || i%m.Shard.Count == m.Shard.Index
+}
+
+// ReadManifest loads dir's manifest without opening the store (no log
+// replay) — enough for lease planning and identity checks.
+func ReadManifest(dir string) (Manifest, error) {
+	return readManifest(dir)
 }
 
 // Exists reports whether dir already holds a run store (a manifest).

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -230,6 +231,73 @@ func (s *Store) Append(j sim.GridJob, o sim.JobOutcome) error {
 	}
 	s.record(j, o)
 	return nil
+}
+
+// LogPath returns the path of the store's append log (jobs.jsonl) — what
+// a fleet worker uploads to the coordinator when its shard completes.
+func (s *Store) LogPath() string { return filepath.Join(s.dir, jobsFile) }
+
+// ErrOutcomeConflict marks an Absorb failure where a record for an
+// already-recorded job disagreed on a deterministic field — a broken
+// determinism contract (or a mixed-version fleet), never noise. Callers
+// distinguish it from transport-shaped failures (truncated uploads,
+// malformed lines), which are safe to drop and retry.
+var ErrOutcomeConflict = errors.New("report: conflicting outcome for an already-recorded job")
+
+// Absorb folds a stream of jobs.jsonl records (for example, a shard log
+// uploaded by a fleet worker) into the store. New jobs are appended;
+// records for jobs the store already holds must agree exactly on the
+// deterministic fields (identical seeds must mean identical costs), so
+// at-least-once delivery — duplicate uploads, a shard re-run after its
+// worker died — can never corrupt the store: the duplicate either
+// verifies or surfaces as ErrOutcomeConflict. Records naming jobs
+// outside the store's plan are rejected. Unlike Open's torn-tail
+// handling, any malformed line is an error: an upload is a complete
+// message, not a crash artifact. Returns the number of newly appended
+// records.
+func (s *Store) Absorb(r io.Reader) (added int, err error) {
+	plan, err := s.manifest.Plan()
+	if err != nil {
+		return 0, err
+	}
+	planned := make(map[sim.GridJob]bool, len(plan.Jobs))
+	for _, j := range plan.Jobs {
+		planned[j] = true
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return added, fmt.Errorf("report: absorbing into %s: corrupt record on line %d: %w", s.dir, lineNo, err)
+		}
+		if err := rec.validate(); err != nil {
+			return added, fmt.Errorf("report: absorbing into %s: line %d: %w", s.dir, lineNo, err)
+		}
+		j := rec.job()
+		if !planned[j] {
+			return added, fmt.Errorf("report: absorbing into %s: job %s is not in this store's grid", s.dir, j)
+		}
+		if have, ok := s.Lookup(j); ok {
+			if !sameOutcome(have, rec.Outcome) {
+				return added, fmt.Errorf("%w: job %s (identical seeds must give identical costs)", ErrOutcomeConflict, j)
+			}
+			continue
+		}
+		if err := s.Append(j, rec.Outcome); err != nil {
+			return added, err
+		}
+		added++
+	}
+	if err := sc.Err(); err != nil {
+		return added, fmt.Errorf("report: absorbing into %s: %w", s.dir, err)
+	}
+	return added, nil
 }
 
 // Outcomes returns a copy of the completed-job map, the form

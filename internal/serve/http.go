@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 
+	"obm/internal/report"
 	"obm/internal/sim"
 )
 
@@ -22,6 +24,17 @@ import (
 //	GET  /api/v1/jobs/{id}/summary.csv rendered summary (done jobs)
 //	GET  /api/v1/jobs/{id}/report.md   rendered Markdown report (done jobs)
 //	GET  /api/v1/jobs/{id}/curves.json aggregated cost-curve points (done jobs)
+//
+// Fleet-worker routes (the coordinator/worker protocol; see lease.go and
+// internal/work):
+//
+//	POST /api/v1/jobs/{id}/lease               claim a shard lease ({"worker": name};
+//	                                           200 Lease, 204 nothing to lease)
+//	POST /api/v1/jobs/{id}/shards/{k}/heartbeat renew a lease + report progress
+//	                                           ({"token","done"}; 409 = lease lost)
+//	POST /api/v1/jobs/{id}/shards/{k}/complete upload the shard's jobs.jsonl
+//	                                           (?token=&worker=&failed=; body = log)
+//	GET  /api/v1/jobs/{id}/shards              shard/lease states, for operators
 
 // Handler returns the service's HTTP handler, ready to mount on an
 // http.Server.
@@ -35,6 +48,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/summary.csv", s.withJob(s.artifact("summary.csv", "text/csv; charset=utf-8")))
 	mux.HandleFunc("GET /api/v1/jobs/{id}/report.md", s.withJob(s.artifact("report.md", "text/markdown; charset=utf-8")))
 	mux.HandleFunc("GET /api/v1/jobs/{id}/curves.json", s.withJob(s.handleCurves))
+	mux.HandleFunc("POST /api/v1/jobs/{id}/lease", s.withJob(s.handleLease))
+	mux.HandleFunc("POST /api/v1/jobs/{id}/shards/{k}/heartbeat", s.withShard(s.handleHeartbeat))
+	mux.HandleFunc("POST /api/v1/jobs/{id}/shards/{k}/complete", s.withShard(s.handleComplete))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/shards", s.withJob(s.handleShards))
 	return mux
 }
 
@@ -167,6 +184,99 @@ func (s *Server) render(j *job) error {
 	defer store.Close()
 	_, _, err = store.Render()
 	return err
+}
+
+// withShard additionally resolves the {k} shard-index path segment.
+func (s *Server) withShard(h func(http.ResponseWriter, *http.Request, *job, int)) http.HandlerFunc {
+	return s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		k, err := strconv.Atoi(r.PathValue("k"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad shard index %q", r.PathValue("k"))
+			return
+		}
+		h(w, r, j, k)
+	})
+}
+
+// handleLease grants a shard lease: 200 with the Lease body, 204 when
+// the job has nothing to lease, 503 during shutdown.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request, j *job) {
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	if r.Body != nil {
+		json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
+	}
+	if req.Worker == "" {
+		req.Worker = r.RemoteAddr
+	}
+	l, err := s.lease(j, req.Worker)
+	switch {
+	case errors.Is(err, ErrNoLease):
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, l)
+}
+
+// handleHeartbeat renews a shard lease: 200 with the refreshed TTL, 409
+// when the lease was requeued or completed under the worker.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request, j *job, k int) {
+	var req struct {
+		Token string `json:"token"`
+		Done  int    `json:"done"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ttl, err := s.heartbeat(j, k, req.Token, req.Done)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"ttl_ms": ttl.Milliseconds()})
+}
+
+// handleComplete absorbs an uploaded shard log (the request body is the
+// shard store's jobs.jsonl). 200 with the job's status on success; 409
+// on an exact-agreement conflict (the job is then failed — identical
+// seeds must mean identical costs); 400 on a bad upload (truncated or
+// malformed — the shard re-runs, the job keeps going); 500 on a
+// server-side storage failure (the job keeps running; the worker may
+// retry).
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request, j *job, k int) {
+	q := r.URL.Query()
+	st, err := s.completeShard(j, k, q.Get("token"), q.Get("worker"), q.Get("failed"),
+		http.MaxBytesReader(w, r.Body, 256<<20))
+	switch {
+	case errors.Is(err, ErrStorage):
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	case errors.Is(err, report.ErrOutcomeConflict):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleShards reports the job's shard lease states (empty until the
+// fleet first touches the job).
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request, j *job) {
+	shards := s.shardStatuses(j)
+	if shards == nil {
+		shards = []ShardStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.id, "shards": shards})
 }
 
 // handleCurves serves the job's aggregated cost-curve points: one entry

@@ -11,8 +11,14 @@
 //
 // Execution is a bounded job queue feeding a fixed worker pool; each
 // worker drives one grid at a time through sim.RunGridContext with the
-// job's run store wired in via the durability hooks. Everything durable
-// lives in the store root:
+// job's run store wired in via the durability hooks. Alternatively (or
+// additionally) a fleet of external worker processes (internal/work,
+// `experiments worker`) drains grids cooperatively: the coordinator
+// partitions a job's grid into leasable shards, workers pull shard
+// leases over HTTP, execute them against local shard stores, and upload
+// their logs, which the coordinator folds back into the job's store
+// under exact-agreement conflict checks (see lease.go). Everything
+// durable lives in the store root:
 //
 //	root/
 //	├── <spec-hash[:16]>/    one run store per submitted grid
@@ -47,7 +53,10 @@ import (
 type Options struct {
 	// StoreRoot is the directory holding one run store per job (required).
 	StoreRoot string
-	// Workers is the number of grids executed concurrently (default 1).
+	// Workers is the number of grids executed concurrently by this
+	// process's own pool (default 1). A negative value disables local
+	// execution entirely: the server is then a pure coordinator and jobs
+	// only progress when fleet workers lease their shards.
 	Workers int
 	// QueueDepth bounds the number of queued-but-not-running jobs; a
 	// submission beyond it is refused with 429 (default 16).
@@ -61,13 +70,30 @@ type Options struct {
 	// (default 10; it is part of the spec hash, so changing it changes
 	// every job identity).
 	CurvePoints int
+	// LeaseTTL is how long a fleet worker's shard lease stays valid
+	// without a heartbeat before the shard is requeued for another
+	// worker (default 30s).
+	LeaseTTL time.Duration
+	// ShardSize is the target number of grid jobs per leasable shard;
+	// a job's grid is partitioned into ceil(total/ShardSize) modulo
+	// shards (default 16).
+	ShardSize int
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
+	if o.Workers == 0 {
 		o.Workers = 1
+	}
+	if o.Workers < 0 {
+		o.Workers = 0 // coordinator-only: no local grid execution
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.ShardSize <= 0 {
+		o.ShardSize = 16
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 16
@@ -94,29 +120,54 @@ const (
 // queueFile persists pending-job order across graceful restarts.
 const queueFile = "queue.json"
 
+// claim records which execution path owns a job's grid: the local worker
+// pool runs whole grids; the fleet drains a grid shard by shard through
+// leases. The two paths exclude each other per job — whichever claims a
+// queued job first owns it to completion (or, for the fleet, until a
+// coordinator restart resets in-memory lease state).
+type claim string
+
+const (
+	claimNone  claim = ""
+	claimLocal claim = "local"
+	claimFleet claim = "fleet"
+)
+
 // job is one submitted grid: a run store plus in-memory execution state.
 type job struct {
-	id    string // the full spec hash — job identity == result identity
-	dir   string
-	total int // full-grid job count, from the manifest
+	id       string // the full spec hash — job identity == result identity
+	dir      string
+	total    int // full-grid job count, from the manifest
+	manifest report.Manifest
 
 	mu         sync.Mutex
 	state      State
-	done       int // completed grid jobs (including previously persisted)
+	claim      claim
+	dequeued   bool // the queue-channel entry was consumed (or superseded by a fleet claim)
+	done       int  // completed grid jobs (including previously persisted)
 	errMsg     string
 	createdAt  time.Time
 	finishedAt time.Time
-	cancel     context.CancelFunc // set while running
+	cancel     context.CancelFunc // set while running locally
+	dist       *distJob           // lease state, created on the first fleet lease
 	hub        *hub
+
+	// absorbMu serializes shard-log absorption into the job's store
+	// (open → absorb → close must not interleave between two uploads).
+	// Never acquired while holding mu.
+	absorbMu sync.Mutex
 }
 
 // Status is the JSON shape of a job's state, returned by the status and
 // list endpoints and carried by every SSE event.
 type Status struct {
-	ID         string `json:"id"`
-	State      State  `json:"state"`
-	Done       int    `json:"done"`
-	Total      int    `json:"total"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// Claim says which execution path owns a running job: "local" (this
+	// process's pool) or "fleet" (shard leases). Empty while queued.
+	Claim      string `json:"claim,omitempty"`
 	Error      string `json:"error,omitempty"`
 	Cached     bool   `json:"cached,omitempty"`
 	CreatedAt  string `json:"created_at,omitempty"`
@@ -131,6 +182,7 @@ func (j *job) status() Status {
 		State: j.state,
 		Done:  j.done,
 		Total: j.total,
+		Claim: string(j.claim),
 		Error: j.errMsg,
 	}
 	if !j.createdAt.IsZero() {
@@ -158,12 +210,13 @@ func (j *job) publish() { j.events().publish(j.status()) }
 type Server struct {
 	opt Options
 
-	mu      sync.Mutex
-	jobs    map[string]*job // by spec hash
-	order   []string        // submission order, for the list endpoint
-	queue   chan *job
-	pending int // queued-but-not-dequeued jobs; bounds new submissions
-	closed  bool
+	mu       sync.Mutex
+	jobs     map[string]*job // by spec hash
+	order    []string        // submission order, for the list endpoint
+	queue    chan *job
+	overflow []*job // jobs the channel had no room for (fleet claims leave ghost slots); workers refill from here
+	pending  int    // queued-but-not-dequeued jobs; bounds new submissions
+	closed   bool
 
 	stop     chan struct{} // closed by Shutdown: workers stop dequeuing
 	wg       sync.WaitGroup
@@ -257,6 +310,7 @@ func (s *Server) recover() ([]*job, error) {
 			id:        h,
 			dir:       info.Dir,
 			total:     info.Manifest.TotalJobs,
+			manifest:  info.Manifest,
 			done:      info.Recorded,
 			createdAt: time.Now(),
 			hub:       newHub(),
@@ -326,12 +380,15 @@ func (s *Server) Submit(specs []sim.ScenarioSpec) (Status, error) {
 		}
 		j.mu.Lock()
 		j.state = StateQueued
+		j.claim = claimNone
+		j.dequeued = false
+		j.dist = nil // stale lease bookkeeping; a retry re-plans its shards
 		j.errMsg = ""
 		j.finishedAt = time.Time{}
 		j.hub = newHub() // the failed run's hub is closed; subscribers need a live one
 		j.mu.Unlock()
 		s.pending++
-		s.queue <- j
+		s.enqueueLocked(j)
 		st = j.status()
 		s.mu.Unlock()
 		s.opt.Logf("serve: re-queued failed job %.12s", m.SpecHash)
@@ -350,6 +407,7 @@ func (s *Server) Submit(specs []sim.ScenarioSpec) (Status, error) {
 		id:        m.SpecHash,
 		dir:       dir,
 		total:     m.TotalJobs,
+		manifest:  m,
 		state:     StateQueued,
 		createdAt: time.Now(),
 		hub:       newHub(),
@@ -377,10 +435,39 @@ func (s *Server) Submit(specs []sim.ScenarioSpec) (Status, error) {
 		s.mu.Unlock()
 		return Status{}, fmt.Errorf("%w: creating run store: %v", ErrStorage, err)
 	}
-	s.queue <- j // cannot block: the channel outsizes the pending bound
+	s.enqueueLocked(j)
 	s.mu.Unlock()
 	s.opt.Logf("serve: queued job %.12s (%d grid jobs)", j.id, j.total)
 	return j.status(), nil
+}
+
+// enqueueLocked hands j to the local pool without ever blocking (the
+// caller holds s.mu, which every endpoint needs — a blocked send here
+// would freeze the whole service). The channel can be full of ghost
+// entries for fleet-claimed jobs, whose pending slots were released at
+// claim time; jobs that do not fit are parked on the overflow list,
+// which workers refill from after every dequeue. The fleet needs
+// neither — it leases straight from the jobs map.
+func (s *Server) enqueueLocked(j *job) {
+	select {
+	case s.queue <- j:
+	default:
+		s.overflow = append(s.overflow, j)
+	}
+}
+
+// refill moves overflow jobs into the channel slots freed by dequeues.
+func (s *Server) refill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.overflow) > 0 {
+		select {
+		case s.queue <- s.overflow[0]:
+			s.overflow = s.overflow[1:]
+		default:
+			return
+		}
+	}
 }
 
 // Job returns the status of the job with the given id (the spec hash).
@@ -421,12 +508,34 @@ func (s *Server) worker() {
 			if !ok {
 				return
 			}
-			s.mu.Lock()
-			s.pending--
-			s.mu.Unlock()
+			s.refill() // the dequeue freed a slot for parked overflow jobs
+			if !s.claimLocal(j) {
+				// The fleet claimed this job while it sat in the queue
+				// (or it already finished): the channel entry is a ghost.
+				continue
+			}
 			s.runJob(j)
 		}
 	}
+}
+
+// claimLocal marks the dequeued job as owned by the local pool. The
+// pending count is released exactly once per enqueue — at local dequeue
+// or at the first fleet lease, whichever came first.
+func (s *Server) claimLocal(j *job) bool {
+	s.mu.Lock()
+	j.mu.Lock()
+	if !j.dequeued {
+		j.dequeued = true
+		s.pending--
+	}
+	ok := j.claim == claimNone && j.state == StateQueued
+	if ok {
+		j.claim = claimLocal
+	}
+	j.mu.Unlock()
+	s.mu.Unlock()
+	return ok
 }
 
 // runJob drives one job's grid to completion (or cancellation/failure),
@@ -481,6 +590,7 @@ func (s *Server) runJob(j *job) {
 		// job, and the job goes back to queued so a restart resumes it.
 		j.mu.Lock()
 		j.state = StateQueued
+		j.claim = claimNone
 		j.cancel = nil
 		j.mu.Unlock()
 		j.publish()
@@ -494,8 +604,15 @@ func (s *Server) runJob(j *job) {
 }
 
 // finishJob moves a job to its terminal state and closes its event hub.
+// Finishing an already-done job is a no-op, so racing completion paths
+// (an upload's terminal check vs. lease-time finalization) are benign.
 func (s *Server) finishJob(j *job, err error) {
 	j.mu.Lock()
+	if j.state == StateDone {
+		j.mu.Unlock()
+		return
+	}
+	j.claim = claimNone
 	j.cancel = nil
 	j.finishedAt = time.Now()
 	if err != nil {
@@ -524,11 +641,14 @@ func (s *Server) openStore(j *job) (*report.Store, error) {
 	return report.Open(j.dir)
 }
 
-// Shutdown stops the service gracefully: submissions are refused,
-// workers stop picking up queued jobs, and in-flight grids are drained —
-// until ctx expires, at which point they are cancelled at the next chunk
-// boundary (their stores stay partial-but-persisted). Pending job order
-// is written to queue.json so a restart resumes in submission order.
+// Shutdown stops the service gracefully: submissions and new leases are
+// refused, workers stop picking up queued jobs, and in-flight grids are
+// drained — until ctx expires, at which point they are cancelled at the
+// next chunk boundary (their stores stay partial-but-persisted). Event
+// hubs of every non-terminal job are closed so SSE subscribers are
+// released rather than left waiting on a process that will publish
+// nothing more. Pending job order is written to queue.json so a restart
+// resumes in submission order.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -555,6 +675,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-drained
 	}
+
+	// The drain is over: every job that is not terminal — requeued by the
+	// cancellation above, never started, or fleet-claimed — will make no
+	// further progress in this process, so its hub closes now. Subscribers
+	// get their channels closed (after the final snapshot) instead of
+	// hanging on a hub nothing will ever publish to again; recovery in the
+	// next process builds fresh hubs.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		h, terminal := j.hub, j.state == StateDone || j.state == StateFailed
+		j.mu.Unlock()
+		if !terminal {
+			h.close()
+		}
+	}
+	s.mu.Unlock()
 
 	// Persist pending order: queued jobs still in the channel plus any
 	// interrupted in-flight ones (those resume first).

@@ -220,6 +220,22 @@ func PlanGrid(specs []ScenarioSpec) (*GridPlan, error) {
 	return newPlan(jobs, cells), nil
 }
 
+// ShardSlice returns the plan jobs owned by shard (index, count) — those
+// whose plan index i satisfies i % count == index — in plan order. A
+// count <= 1 returns the full job list. It is the partition the
+// GridOptions.Shard/Shards hooks execute and the unit the experiment
+// service leases to fleet workers.
+func (p *GridPlan) ShardSlice(index, count int) []GridJob {
+	if count <= 1 {
+		return append([]GridJob(nil), p.Jobs...)
+	}
+	var jobs []GridJob
+	for i := index; i < len(p.Jobs); i += count {
+		jobs = append(jobs, p.Jobs[i])
+	}
+	return jobs
+}
+
 // Aggregate folds job outcomes into the plan's cells: repetition values are
 // summarized in plan order, so the result is independent of where the
 // outcomes came from (live execution, a resumed log, merged shard logs).

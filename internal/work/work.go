@@ -1,0 +1,449 @@
+// Package work is the fleet-worker side of distributed grid execution:
+// a Runner connects to an experiment-service coordinator (internal/serve,
+// `experiments serve`), leases shards of submitted grids over HTTP, and
+// drains them cooperatively with every other worker on the same
+// coordinator.
+//
+// One shard lease is executed as an ordinary sharded run store (the PR 3
+// mechanics): the worker rebuilds the shard's manifest from the lease
+// (and refuses to run unless its spec hash reproduces the job id),
+// executes the shard's job slice through sim.RunGridContext with the
+// store's durability hooks, heartbeats the coordinator to keep the lease
+// alive and stream progress, and finally uploads the store's jobs.jsonl,
+// which the coordinator folds into the job's own store under
+// exact-agreement conflict checks.
+//
+// Shard stores live under Options.Dir, keyed by (job, shard), so a
+// worker that crashes or is cancelled mid-shard resumes its own partial
+// log the next time it leases the same shard — and if a *different*
+// worker re-runs the shard instead, determinism makes the duplicate
+// upload verify bit-for-bit. Workers are therefore disposable: kill any
+// of them at any time and the grid still merges to a summary
+// byte-identical to a single-process run.
+package work
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"obm/internal/report"
+	"obm/internal/serve"
+	"obm/internal/sim"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Coordinator is the base URL of the experiment service (required),
+	// e.g. "http://10.0.0.5:8080".
+	Coordinator string
+	// Name identifies this worker in coordinator logs and lease state
+	// (default "<hostname>-<pid>").
+	Name string
+	// Capacity is the number of shard leases executed concurrently
+	// (default 1). Each shard internally parallelizes per GridWorkers.
+	Capacity int
+	// Dir is where shard run stores are kept while a shard executes
+	// (default "work"). A store left behind by a kill is resumed when
+	// this worker re-leases the same shard.
+	Dir string
+	// GridWorkers sizes the sim worker pool inside each shard run
+	// (default GOMAXPROCS).
+	GridWorkers int
+	// ChunkSize is the streaming chunk size per grid worker (0 = default).
+	ChunkSize int
+	// Poll is how long to wait between lease attempts when the
+	// coordinator has nothing to lease (default 2s).
+	Poll time.Duration
+	// HTTPClient overrides the HTTP client (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives one line per lease/shard state change.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 1
+	}
+	if o.Dir == "" {
+		o.Dir = "work"
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Runner is a fleet worker. Create with New, drive with Run.
+type Runner struct {
+	opt Options
+}
+
+// New validates opt and builds a Runner.
+func New(opt Options) (*Runner, error) {
+	if opt.Coordinator == "" {
+		return nil, fmt.Errorf("work: Options.Coordinator is required")
+	}
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Runner{opt: opt}, nil
+}
+
+// Run leases and executes shards until ctx is cancelled, then waits for
+// in-flight shards to abort at their next chunk boundary (their local
+// stores stay resumable) and returns the number of shards it completed
+// and uploaded. Transient coordinator errors (connection refused during
+// a restart, 5xx) are retried on the poll interval, so a fleet can start
+// before its coordinator.
+func (r *Runner) Run(ctx context.Context) (completed int, err error) {
+	slots := make(chan struct{}, r.opt.Capacity)
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	r.opt.Logf("work: %s draining %s (capacity %d)", r.opt.Name, r.opt.Coordinator, r.opt.Capacity)
+	for ctx.Err() == nil {
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		lease, lerr := r.acquire(ctx)
+		if lerr != nil || lease == nil {
+			<-slots
+			if lerr != nil {
+				r.opt.Logf("work: lease attempt: %v", lerr)
+			}
+			select {
+			case <-time.After(r.opt.Poll):
+			case <-ctx.Done():
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(l serve.Lease) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			if r.runShard(ctx, l) {
+				mu.Lock()
+				completed++
+				mu.Unlock()
+			}
+		}(*lease)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return completed, nil
+}
+
+// acquire asks the coordinator for one shard lease: it lists the jobs
+// and tries to lease each candidate until one answers 200. A nil lease
+// with nil error means there is nothing to drain right now.
+func (r *Runner) acquire(ctx context.Context) (*serve.Lease, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opt.Coordinator+"/api/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.opt.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("work: listing jobs: HTTP %d", resp.StatusCode)
+	}
+	var list struct {
+		Jobs []serve.Status `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("work: decoding job list: %w", err)
+	}
+	r.pruneStaleShardDirs(list.Jobs)
+	for _, st := range list.Jobs {
+		if st.State != serve.StateQueued && st.State != serve.StateRunning {
+			continue
+		}
+		if st.Claim == "local" {
+			continue // the coordinator's own pool owns this grid
+		}
+		lease, err := r.tryLease(ctx, st.ID)
+		if err != nil {
+			return nil, err
+		}
+		if lease != nil {
+			return lease, nil
+		}
+	}
+	return nil, nil
+}
+
+// tryLease POSTs one lease request; nil without error on 204/409-class
+// answers (nothing to lease on that job).
+func (r *Runner) tryLease(ctx context.Context, jobID string) (*serve.Lease, error) {
+	body, _ := json.Marshal(map[string]string{"worker": r.opt.Name})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.opt.Coordinator+"/api/v1/jobs/"+jobID+"/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.opt.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var l serve.Lease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return nil, fmt.Errorf("work: decoding lease: %w", err)
+		}
+		return &l, nil
+	case http.StatusNoContent, http.StatusConflict, http.StatusServiceUnavailable, http.StatusNotFound:
+		return nil, nil
+	default:
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("work: lease %s: HTTP %d: %s", jobID[:12], resp.StatusCode, blob)
+	}
+}
+
+// shardDir names the local store for (job, shard) — stable across
+// restarts, so a re-leased shard resumes this worker's own partial log.
+func (r *Runner) shardDir(l serve.Lease) string {
+	return filepath.Join(r.opt.Dir, fmt.Sprintf("%.16s-shard%d", l.JobID, l.Shard))
+}
+
+// pruneStaleShardDirs removes leftover shard stores whose job is done:
+// an abandoned or lease-lost shard keeps its local log for a possible
+// resume, but once the grid finished elsewhere that resume can never be
+// asked for, and without pruning a long-lived worker's Dir grows
+// without bound. Failed jobs keep their dirs — a resubmission re-leases
+// their shards and the partial logs are a head start.
+func (r *Runner) pruneStaleShardDirs(jobs []serve.Status) {
+	entries, err := os.ReadDir(r.opt.Dir)
+	if err != nil {
+		return
+	}
+	done := make(map[string]bool, len(jobs))
+	for _, st := range jobs {
+		if st.State == serve.StateDone && len(st.ID) >= 16 {
+			done[st.ID[:16]] = true
+		}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || len(name) < 17 {
+			continue
+		}
+		if prefix, rest, ok := strings.Cut(name, "-shard"); ok && rest != "" && done[prefix] {
+			os.RemoveAll(filepath.Join(r.opt.Dir, name))
+			r.opt.Logf("work: pruned stale shard store %s (job finished)", name)
+		}
+	}
+}
+
+// openShardStore creates (or resumes) the local run store for a lease,
+// verifying that the lease's manifest reproduces the job id — a worker
+// must never burn CPU on a grid whose identity it cannot prove.
+func (r *Runner) openShardStore(l serve.Lease) (*report.Store, error) {
+	m, err := report.NewManifest(l.Name, l.Specs, l.CurvePoints, report.Shard{Index: l.Shard, Count: l.Shards})
+	if err != nil {
+		return nil, err
+	}
+	if m.SpecHash != l.JobID {
+		return nil, fmt.Errorf("work: lease for job %.12s carries specs hashing to %.12s — refusing to run", l.JobID, m.SpecHash)
+	}
+	dir := r.shardDir(l)
+	if report.Exists(dir) {
+		st, err := report.Open(dir)
+		if err == nil {
+			got := st.Manifest()
+			if got.SpecHash != l.JobID || got.Shard.Index != l.Shard || got.Shard.Count != l.Shards {
+				st.Close()
+				return nil, fmt.Errorf("work: %s holds a different shard (%.12s %s) than the lease (%.12s %d/%d)",
+					dir, got.SpecHash, got.Shard, l.JobID, l.Shard, l.Shards)
+			}
+			if st.Len() > 0 {
+				r.opt.Logf("work: %s resuming shard %d of job %.12s (%d jobs already recorded)",
+					r.opt.Name, l.Shard, l.JobID, st.Len())
+			}
+			return st, nil
+		}
+		return nil, err
+	}
+	return report.Create(dir, m)
+}
+
+// runShard executes one lease end to end; true means the shard's log was
+// uploaded after a clean run. A cancelled shard (ctx or lease lost) is
+// abandoned with its store intact; a shard whose grid failed uploads its
+// partial log with the failure message so the coordinator requeues it
+// without waiting for the TTL.
+func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
+	store, err := r.openShardStore(l)
+	if err != nil {
+		r.opt.Logf("work: shard %d of job %.12s: %v", l.Shard, l.JobID, err)
+		return false
+	}
+	logPath := store.LogPath()
+
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var leaseLost atomic.Bool
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		r.heartbeatLoop(shardCtx, l, store, cancel, &leaseLost)
+	}()
+
+	_, runErr := store.RunContext(shardCtx, sim.GridOptions{
+		Workers:   r.opt.GridWorkers,
+		ChunkSize: r.opt.ChunkSize,
+	})
+	if serr := store.Sync(); runErr == nil && serr != nil {
+		runErr = serr
+	}
+	cancel()
+	<-hbDone
+	store.Close()
+
+	switch {
+	case leaseLost.Load():
+		// The lease was requeued under us: another worker owns the shard
+		// now. Keep the local log (a future lease of the same shard
+		// resumes it) and upload nothing — the new owner's run is
+		// authoritative, and if both upload, determinism makes the
+		// duplicate verify.
+		r.opt.Logf("work: %s lost the lease on shard %d of job %.12s — aborted at a chunk boundary", r.opt.Name, l.Shard, l.JobID)
+		return false
+	case runErr != nil && ctx.Err() != nil:
+		// Worker shutdown: abandon quietly; the store resumes next lease.
+		r.opt.Logf("work: %s abandoning shard %d of job %.12s (shutting down; local log kept)", r.opt.Name, l.Shard, l.JobID)
+		return false
+	}
+	failMsg := ""
+	if runErr != nil {
+		failMsg = runErr.Error()
+	}
+	if err := r.upload(ctx, l, logPath, failMsg); err != nil {
+		r.opt.Logf("work: uploading shard %d of job %.12s: %v (local log kept)", l.Shard, l.JobID, err)
+		return false
+	}
+	if failMsg != "" {
+		r.opt.Logf("work: %s reported shard %d of job %.12s failed: %s", r.opt.Name, l.Shard, l.JobID, failMsg)
+		return false
+	}
+	// The coordinator holds everything durable now; the local store is
+	// scratch and can go.
+	os.RemoveAll(r.shardDir(l))
+	r.opt.Logf("work: %s completed shard %d/%d of job %.12s (%d grid jobs)", r.opt.Name, l.Shard, l.Shards, l.JobID, l.Jobs)
+	return true
+}
+
+// heartbeatLoop renews the lease on a third of its TTL, reporting the
+// shard store's persisted-job count as progress. A 409 means the lease
+// was requeued under us — flag it and cancel the run; its next chunk
+// boundary aborts.
+func (r *Runner) heartbeatLoop(ctx context.Context, l serve.Lease, store *report.Store, cancel context.CancelFunc, leaseLost *atomic.Bool) {
+	interval := time.Duration(l.TTLMS) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		body, _ := json.Marshal(map[string]any{"token": l.Token, "done": store.Len()})
+		url := fmt.Sprintf("%s/api/v1/jobs/%s/shards/%d/heartbeat", r.opt.Coordinator, l.JobID, l.Shard)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.opt.HTTPClient.Do(req)
+		if err != nil {
+			// A coordinator blip is survivable as long as one heartbeat
+			// lands inside the TTL; keep trying until the lease verdict.
+			r.opt.Logf("work: heartbeat for shard %d of job %.12s: %v", l.Shard, l.JobID, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusConflict {
+			leaseLost.Store(true)
+			cancel()
+			return
+		}
+	}
+}
+
+// upload POSTs the shard's jobs.jsonl to the complete endpoint. The
+// request is detached from the worker's shutdown cancellation (with its
+// own timeout): the shard's compute is already paid for, so a worker
+// told to stop right as a shard finishes still delivers it instead of
+// abandoning a completed log.
+func (r *Runner) upload(ctx context.Context, l serve.Lease, logPath, failMsg string) error {
+	uploadCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Minute)
+	defer cancel()
+	ctx = uploadCtx
+	blob, err := os.ReadFile(logPath)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	q := neturl.Values{"token": {l.Token}, "worker": {r.opt.Name}}
+	if failMsg != "" {
+		q.Set("failed", failMsg)
+	}
+	url := fmt.Sprintf("%s/api/v1/jobs/%s/shards/%d/complete?%s", r.opt.Coordinator, l.JobID, l.Shard, q.Encode())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := r.opt.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("work: complete: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

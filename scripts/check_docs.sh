@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Docs-freshness check: every command inside README.md's ```sh blocks must
-# exit zero, so the README can never drift ahead of (or behind) the code.
+# Docs-freshness check: every command inside the ```sh blocks of
+# README.md and docs/OPERATIONS.md must exit zero, so the docs can never
+# drift ahead of (or behind) the code. Illustrative, long-running
+# walkthroughs (server sessions, curl transcripts) use ```bash blocks,
+# which are not executed.
 #
 # The commands run in a throwaway copy of the repository, so the stores,
 # CSVs and charts they write never touch the working tree. Commands whose
@@ -8,12 +11,14 @@
 #   - `go test …`       (CI runs the suite directly)
 #   - bench suites      (CI runs the benchmark-regression job directly)
 #   - `-figure all`     (the full-scale figure regeneration, minutes long)
+#   - distributed smoke (CI runs scripts/smoke_distributed.sh directly)
 #
 # Usage: scripts/check_docs.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SKIP_RE='go test|bench|-figure all'
+SKIP_RE='go test|bench|-figure all|smoke_distributed'
+DOCS=(README.md docs/OPERATIONS.md)
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -21,28 +26,29 @@ mkdir -p "$tmp/repo"
 tar -c --exclude ./.git --exclude ./results --exclude ./runs . | tar -x -C "$tmp/repo"
 cd "$tmp/repo"
 
-# Every example must build even if the README never runs it.
+# Every example must build even if the docs never run it.
 go build ./... ./examples/...
 
-mapfile -t cmds < <(awk '/^```sh$/{f=1;next} /^```/{f=0} f' README.md |
-	sed -e 's/[[:space:]]*#.*$//' -e 's/[[:space:]]*$//' | grep -v '^$' || true)
-if [ "${#cmds[@]}" -eq 0 ]; then
-	echo "check_docs: no sh code blocks found in README.md" >&2
-	exit 1
-fi
-
 ran=0
-for cmd in "${cmds[@]}"; do
-	if [[ "$cmd" =~ $SKIP_RE ]]; then
-		echo "SKIP  $cmd"
-		continue
-	fi
-	echo "RUN   $cmd"
-	if ! bash -c "$cmd" >/dev/null 2>"$tmp/stderr"; then
-		echo "check_docs: README command failed: $cmd" >&2
-		cat "$tmp/stderr" >&2
+for doc in "${DOCS[@]}"; do
+	mapfile -t cmds < <(awk '/^```sh$/{f=1;next} /^```/{f=0} f' "$doc" |
+		sed -e 's/[[:space:]]*#.*$//' -e 's/[[:space:]]*$//' | grep -v '^$' || true)
+	if [ "${#cmds[@]}" -eq 0 ]; then
+		echo "check_docs: no sh code blocks found in $doc" >&2
 		exit 1
 	fi
-	ran=$((ran + 1))
+	for cmd in "${cmds[@]}"; do
+		if [[ "$cmd" =~ $SKIP_RE ]]; then
+			echo "SKIP  [$doc] $cmd"
+			continue
+		fi
+		echo "RUN   [$doc] $cmd"
+		if ! bash -c "$cmd" >/dev/null 2>"$tmp/stderr"; then
+			echo "check_docs: $doc command failed: $cmd" >&2
+			cat "$tmp/stderr" >&2
+			exit 1
+		fi
+		ran=$((ran + 1))
+	done
 done
-echo "check_docs: $ran README commands ran clean"
+echo "check_docs: $ran doc commands ran clean"

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of distributed grid execution (`experiments serve`
+# as a coordinator-only service + an `experiments worker` fleet):
+#
+#   1. run the reference grid directly (`experiments grid -store`);
+#   2. start the coordinator with -workers 0 (no local execution) and a
+#      small -shard-size so the grid splits into several leasable shards;
+#   3. start 2 worker processes against it;
+#   4. submit the same specs over HTTP and poll the job to completion —
+#      every grid job necessarily flowed through shard leases;
+#   5. assert the served summary.csv is byte-identical to the direct run
+#      and that every shard reports done;
+#   6. stop the fleet and the coordinator gracefully (SIGINT).
+#
+# CI runs this as the distributed smoke job; docs/OPERATIONS.md points
+# here as the runnable form of the fleet runbook.
+#
+# Usage: scripts/smoke_distributed.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+	for pid in "${pids[@]:-}"; do
+		if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+			kill -INT "$pid" 2>/dev/null || true
+			wait "$pid" 2>/dev/null || true
+		fi
+	done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/experiments" ./cmd/experiments
+
+cat >"$tmp/specs.json" <<'EOF'
+[
+  {
+    "name": "dist-uni",
+    "family": "uniform",
+    "racks": 10,
+    "requests": 4000,
+    "seed": 11,
+    "bs": [2, 3],
+    "reps": 2,
+    "algs": ["r-bma", "bma"]
+  },
+  {
+    "name": "dist-ps",
+    "family": "phase-shift",
+    "racks": 10,
+    "requests": 4000,
+    "seed": 12,
+    "bs": [2],
+    "reps": 2,
+    "algs": ["r-bma", "oblivious"]
+  }
+]
+EOF
+
+# Reference: the same grid, single process, same curve-points as the
+# service default.
+"$tmp/experiments" grid -scenarios "$tmp/specs.json" -store "$tmp/direct" \
+	-curve-points 10 -outdir "$tmp/direct-out" -progress=false >/dev/null
+
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+"$tmp/experiments" serve -addr "$addr" -store-root "$tmp/serve-root" \
+	-workers 0 -shard-size 2 -lease-ttl 10s \
+	>"$tmp/serve.log" 2>&1 &
+pids+=($!)
+server_pid=$!
+
+for _ in $(seq 1 100); do
+	if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	if ! kill -0 "$server_pid" 2>/dev/null; then
+		echo "smoke_distributed: coordinator died on startup:" >&2
+		cat "$tmp/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+curl -sf "http://$addr/healthz" >/dev/null
+
+# A 2-worker fleet. Workers poll fast so the smoke stays quick.
+for w in 1 2; do
+	"$tmp/experiments" worker -coordinator "http://$addr" -capacity 2 \
+		-workdir "$tmp/w$w" -name "smoke-w$w" -poll 100ms \
+		>"$tmp/worker$w.log" 2>&1 &
+	pids+=($!)
+done
+
+submit=$(curl -sf -X POST --data-binary @"$tmp/specs.json" "http://$addr/api/v1/jobs")
+job_id=$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' <<<"$submit")
+if [ -z "$job_id" ]; then
+	echo "smoke_distributed: submission returned no job id: $submit" >&2
+	exit 1
+fi
+
+state=""
+for _ in $(seq 1 600); do
+	status=$(curl -sf "http://$addr/api/v1/jobs/$job_id")
+	state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' <<<"$status")
+	case "$state" in
+	done) break ;;
+	failed)
+		echo "smoke_distributed: job failed: $status" >&2
+		cat "$tmp/serve.log" "$tmp"/worker*.log >&2
+		exit 1
+		;;
+	esac
+	sleep 0.1
+done
+if [ "$state" != "done" ]; then
+	echo "smoke_distributed: job never finished (state=$state)" >&2
+	cat "$tmp/serve.log" "$tmp"/worker*.log >&2
+	exit 1
+fi
+
+# The fleet must have owned the job (coordinator has no local pool) and
+# every shard must be done.
+shards=$(curl -sf "http://$addr/api/v1/jobs/$job_id/shards")
+if grep -qE '"state": "(pending|leased)"' <<<"$shards"; then
+	echo "smoke_distributed: unfinished shards after done:" >&2
+	echo "$shards" >&2
+	exit 1
+fi
+if ! grep -q '"state": "done"' <<<"$shards"; then
+	echo "smoke_distributed: no shards were leased — fleet never ran:" >&2
+	echo "$shards" >&2
+	exit 1
+fi
+
+curl -sf "http://$addr/api/v1/jobs/$job_id/summary.csv" >"$tmp/served.csv"
+if ! cmp -s "$tmp/served.csv" "$tmp/direct/summary.csv"; then
+	echo "smoke_distributed: fleet summary.csv differs from direct RunGrid:" >&2
+	diff "$tmp/served.csv" "$tmp/direct/summary.csv" >&2 || true
+	exit 1
+fi
+
+# Graceful fleet + coordinator shutdown must exit zero (workers first).
+for ((i = ${#pids[@]} - 1; i >= 0; i--)); do
+	kill -INT "${pids[$i]}"
+	wait "${pids[$i]}"
+done
+pids=()
+
+echo "smoke_distributed: OK (job $job_id drained by 2 workers, summary byte-identical)"

@@ -38,6 +38,9 @@ func gridMain(args []string) {
 		resume    = fs.Bool("resume", false, "resume an existing run store (-store), skipping completed jobs")
 		shardSpec = fs.String("shard", "", "own only slice i of n disjoint job slices, as \"i/n\" (requires -store)")
 		curvePts  = fs.Int("curve-points", 10, "cost-curve checkpoints recorded per job in the store (0 = final costs only)")
+		parallel  = fs.Int("parallel", 1, "replay goroutines per job for multi-plane scenarios (shards > 1); results are identical for every value")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU pprof profile of the grid run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap pprof profile (taken after the run) to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: experiments grid [flags]\n\n"+
@@ -84,7 +87,13 @@ func gridMain(args []string) {
 		}
 	}
 
-	opt := sim.GridOptions{Workers: *workers, ChunkSize: *chunk}
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+
+	opt := sim.GridOptions{Workers: *workers, ChunkSize: *chunk, Parallel: *parallel}
 	if *progress {
 		opt.Progress = func(done, total int, job sim.GridJob, err error) {
 			status := "ok"

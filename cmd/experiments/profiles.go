@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles enables pprof profiling for a run: a CPU profile collected
+// from now until the returned stop function runs, and a heap profile
+// snapshotted by stop (after a GC, so it shows live retained memory, not
+// transient garbage). Either path may be empty. stop is idempotent-enough
+// for a single deferred call and reports write failures on stderr rather
+// than clobbering the command's exit path.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "  cpuprofile: %v\n", err)
+			} else {
+				fmt.Printf("  wrote %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "  memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "  memprofile: %v\n", err)
+				f.Close()
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "  memprofile: %v\n", err)
+				return
+			}
+			fmt.Printf("  wrote %s\n", memPath)
+		}
+	}, nil
+}

@@ -28,6 +28,7 @@ func serveMain(args []string) {
 		queueDepth  = fs.Int("queue", 16, "max queued jobs before submissions get 429")
 		gridWorkers = fs.Int("grid-workers", 0, "sim worker pool per grid (0 = GOMAXPROCS)")
 		chunk       = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
+		parallel    = fs.Int("parallel", 1, "replay goroutines per multi-plane job (shards > 1); results are identical for every value")
 		curvePts    = fs.Int("curve-points", 10, "cost-curve checkpoints per job (part of the job identity)")
 		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "fleet shard-lease TTL: a worker missing heartbeats this long is presumed dead and its shard requeued")
 		shardSize   = fs.Int("shard-size", 16, "target grid jobs per leasable fleet shard")
@@ -71,6 +72,7 @@ func serveMain(args []string) {
 		QueueDepth:  *queueDepth,
 		GridWorkers: *gridWorkers,
 		ChunkSize:   *chunk,
+		Parallel:    *parallel,
 		CurvePoints: *curvePts,
 		LeaseTTL:    *leaseTTL,
 		ShardSize:   *shardSize,

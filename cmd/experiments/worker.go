@@ -27,6 +27,7 @@ func workerMain(args []string) {
 		name        = fs.String("name", "", "worker name in coordinator logs (default <hostname>-<pid>)")
 		gridWorkers = fs.Int("grid-workers", 0, "sim worker pool per shard (0 = GOMAXPROCS)")
 		chunk       = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
+		parallel    = fs.Int("parallel", 1, "replay goroutines per multi-plane job (shards > 1); results are identical for every value")
 		poll        = fs.Duration("poll", 2*time.Second, "idle wait between lease attempts when nothing is leasable")
 	)
 	fs.Usage = func() {
@@ -58,6 +59,7 @@ func workerMain(args []string) {
 		Dir:         *workdir,
 		GridWorkers: *gridWorkers,
 		ChunkSize:   *chunk,
+		Parallel:    *parallel,
 		Poll:        *poll,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

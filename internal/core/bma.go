@@ -75,7 +75,11 @@ func (a *BMA) bmatching() *matching.BMatching { return a.m }
 
 // Reset implements Algorithm.
 func (a *BMA) Reset() {
-	a.m = matching.NewBMatching(a.n, a.b)
+	if a.m == nil {
+		a.m = matching.NewBMatching(a.n, a.b)
+	} else {
+		a.m.Reset()
+	}
 	if a.rent == nil {
 		np := a.idx.NumPairs()
 		a.rent = make([]float64, np)

@@ -95,6 +95,15 @@ type CompiledServer interface {
 	ServeCompiled(req trace.CompiledReq) Step
 }
 
+// Reseeder is implemented by randomized algorithms that can adopt a new
+// seed in place: after Reseed(seed) the instance must be indistinguishable
+// from a freshly constructed one with that seed. Experiment drivers use it
+// to recycle instances across repetitions instead of reallocating the
+// per-pair state tables.
+type Reseeder interface {
+	Reseed(seed uint64)
+}
+
 // degreeCapped is the invariant-check hook shared by implementations that
 // expose their BMatching for tests.
 type degreeCapped interface {

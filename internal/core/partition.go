@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"obm/internal/trace"
+)
+
+// Pair-universe partitioning: the structure behind the multi-plane ("S
+// independent optical switch layers") experiment mode and the parallel
+// replay hot path in internal/sim.
+//
+// R-BMA reduces (b,a)-matching to independent per-node paging instances, so
+// the pair universe partitions naturally by node row: pair {u, v} with
+// u < v belongs to row u, and row u belongs to shard u mod S. Every shard
+// then owns a disjoint set of pairs, and an algorithm instance per shard
+// runs with no shared mutable state at all — which is what lets a replay
+// fan requests out to per-shard workers and still merge costs
+// deterministically (see FoldShardSteps and sim.RunSourceParallel).
+//
+// Semantically, a Sharded algorithm is not the single-switch algorithm
+// computed faster: it models S independent switch planes, each maintaining
+// its own degree-b matching over the pairs it owns (a rack can hold up to b
+// edges per plane, S·b in total — the multi-layer reconfigurable fabrics of
+// the rotor-switch literature). Shard count is therefore part of an
+// experiment's identity: results for S planes differ from results for one,
+// and the simulation layer treats Shards as a scenario parameter, never as
+// a runtime tuning knob.
+
+// Partition maps the pair universe over n racks onto a fixed number of
+// shards by node row: pair {u, v} (u < v) is owned by shard u mod shards.
+// The zero value is not valid; use NewPartition.
+type Partition struct {
+	n, shards int
+	idx       *trace.PairIndex
+}
+
+// NewPartition builds a node-row partition of the n-rack pair universe into
+// the given number of shards. shards must be in [1, n].
+func NewPartition(n, shards int) (Partition, error) {
+	if n < 2 {
+		return Partition{}, fmt.Errorf("core: NewPartition requires n >= 2, got %d", n)
+	}
+	if shards < 1 || shards > n {
+		return Partition{}, fmt.Errorf("core: NewPartition requires 1 <= shards <= %d, got %d", n, shards)
+	}
+	return Partition{n: n, shards: shards, idx: trace.SharedPairIndex(n)}, nil
+}
+
+// N returns the rack-universe size.
+func (p Partition) N() int { return p.n }
+
+// Shards returns the shard count.
+func (p Partition) Shards() int { return p.shards }
+
+// OfRow returns the shard owning node row u.
+func (p Partition) OfRow(u int) int { return u % p.shards }
+
+// OfReq returns the shard owning a compiled request's pair. Compiled
+// requests carry U < V, so ownership is one modulo.
+func (p Partition) OfReq(req trace.CompiledReq) int { return int(req.U) % p.shards }
+
+// OfPair returns the shard owning pair id.
+func (p Partition) OfPair(id trace.PairID) int {
+	u, _ := p.idx.Endpoints(id)
+	return u % p.shards
+}
+
+// ShardSeed derives the algorithm seed of one shard from the run's base
+// seed. Shard 0 keeps the base seed, so a single-shard run is seeded (and
+// behaves) exactly like the unsharded algorithm; higher shards are splashed
+// across the seed space with a fixed odd multiplier.
+func ShardSeed(base uint64, shard int) uint64 {
+	if shard == 0 {
+		return base
+	}
+	return base ^ (uint64(shard) * 0x9e3779b97f4a7c15)
+}
+
+// ShardStep accumulates the cost deltas of one shard: routing and
+// reconfiguration cost folded per step exactly like the sequential cost
+// meter (reconfiguration is α·(adds+removals) added per step), so a
+// single-shard accumulator reproduces the sequential totals bit for bit.
+type ShardStep struct {
+	Routing  float64
+	Reconfig float64
+	Adds     int
+	Removals int
+}
+
+// add folds one serve result into the accumulator. The operation order
+// mirrors sim's cost meter: one += per cost component per step.
+func (d *ShardStep) add(st Step, alpha float64) {
+	d.Routing += st.RoutingCost
+	d.Reconfig += st.ReconfigCost(alpha)
+	d.Adds += st.Adds
+	d.Removals += st.Removals
+}
+
+// FoldShardSteps folds per-shard accumulators into one total in canonical
+// ascending shard order. The fixed order makes the merge deterministic:
+// every fold of the same per-shard states produces the same bits, no matter
+// which goroutines produced them or when. (Per-shard costs are sums of
+// integer-valued step costs whenever α is an integer, as in every preset
+// and figure — then the fold is exact and equals the sequential trace-order
+// accumulation, not merely a reproducible reordering of it.)
+func FoldShardSteps(acc []ShardStep) ShardStep {
+	var t ShardStep
+	for i := range acc {
+		t.Routing += acc[i].Routing
+		t.Reconfig += acc[i].Reconfig
+		t.Adds += acc[i].Adds
+		t.Removals += acc[i].Removals
+	}
+	return t
+}
+
+// Sharded runs one independent algorithm instance per partition shard: S
+// switch planes, each a full Algorithm over the pairs its shard owns.
+// Requests are delegated to the owning plane; costs and matching sizes sum
+// across planes. Planes share no mutable state, so distinct shards may be
+// served from distinct goroutines concurrently (the same shard must stay
+// single-threaded).
+type Sharded struct {
+	part Partition
+	name string
+	b    int
+	subs []Algorithm
+	fast []CompiledServer // fast[s] non-nil when subs[s] has the dense path
+}
+
+// NewSharded builds a sharded algorithm: build is called once per shard and
+// must return a fresh instance (typically seeded via ShardSeed). All
+// instances must agree on the degree cap.
+func NewSharded(part Partition, build func(shard int) (Algorithm, error)) (*Sharded, error) {
+	if part.shards < 1 {
+		return nil, fmt.Errorf("core: NewSharded requires a valid Partition (use NewPartition)")
+	}
+	sh := &Sharded{
+		part: part,
+		subs: make([]Algorithm, part.shards),
+		fast: make([]CompiledServer, part.shards),
+	}
+	for s := 0; s < part.shards; s++ {
+		alg, err := build(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: NewSharded building shard %d: %w", s, err)
+		}
+		if alg == nil {
+			return nil, fmt.Errorf("core: NewSharded: nil algorithm for shard %d", s)
+		}
+		if s > 0 && alg.B() != sh.b {
+			return nil, fmt.Errorf("core: NewSharded: shard %d has b = %d, shard 0 has %d", s, alg.B(), sh.b)
+		}
+		if s == 0 {
+			sh.b = alg.B()
+		}
+		sh.subs[s] = alg
+		sh.fast[s], _ = alg.(CompiledServer)
+	}
+	sh.name = sh.subs[0].Name()
+	if part.shards > 1 {
+		sh.name = fmt.Sprintf("%s[shards=%d]", sh.name, part.shards)
+	}
+	return sh, nil
+}
+
+// Partition returns the pair partition the planes are built over.
+func (sh *Sharded) Partition() Partition { return sh.part }
+
+// Shards returns the plane count.
+func (sh *Sharded) Shards() int { return sh.part.shards }
+
+// Shard returns plane s's algorithm instance.
+func (sh *Sharded) Shard(s int) Algorithm { return sh.subs[s] }
+
+// Name implements Algorithm. A single-shard instance keeps its plane's
+// name, so it is indistinguishable from the unsharded algorithm in output.
+func (sh *Sharded) Name() string { return sh.name }
+
+// B implements Algorithm: the per-plane degree cap (a rack can hold up to
+// B() edges in every plane it appears in).
+func (sh *Sharded) B() int { return sh.b }
+
+// Serve implements Algorithm by delegating to the owning plane.
+func (sh *Sharded) Serve(u, v int) Step {
+	if u > v {
+		u, v = v, u
+	}
+	return sh.subs[sh.part.OfRow(u)].Serve(u, v)
+}
+
+// ServeCompiled implements CompiledServer by delegating to the owning
+// plane's dense path.
+func (sh *Sharded) ServeCompiled(req trace.CompiledReq) Step {
+	s := sh.part.OfReq(req)
+	if cs := sh.fast[s]; cs != nil {
+		return cs.ServeCompiled(req)
+	}
+	return sh.subs[s].Serve(int(req.U), int(req.V))
+}
+
+// ApplyShard serves a run of compiled requests that are all owned by shard
+// s (the caller has grouped them; ownership is not re-checked), folding the
+// step costs into d with the sequential meter's operation order. This is
+// the batch-apply fast path the parallel replay workers run: one virtual
+// dispatch per batch instead of per request.
+func (sh *Sharded) ApplyShard(s int, alpha float64, reqs []trace.CompiledReq, d *ShardStep) {
+	if cs := sh.fast[s]; cs != nil {
+		for _, req := range reqs {
+			d.add(cs.ServeCompiled(req), alpha)
+		}
+		return
+	}
+	alg := sh.subs[s]
+	for _, req := range reqs {
+		d.add(alg.Serve(int(req.U), int(req.V)), alpha)
+	}
+}
+
+// ServeChunk serves a chunk of compiled requests with mixed ownership,
+// folding each step into its owner's accumulator. acc must have at least
+// Shards() entries; entries are not cleared first, so chunks accumulate.
+// Combined with FoldShardSteps this is the sequential form of the batched
+// hot path: group by shard, accumulate per shard, fold canonically.
+func (sh *Sharded) ServeChunk(alpha float64, reqs []trace.CompiledReq, acc []ShardStep) {
+	for _, req := range reqs {
+		s := sh.part.OfReq(req)
+		var st Step
+		if cs := sh.fast[s]; cs != nil {
+			st = cs.ServeCompiled(req)
+		} else {
+			st = sh.subs[s].Serve(int(req.U), int(req.V))
+		}
+		acc[s].add(st, alpha)
+	}
+}
+
+// Matched implements Algorithm: a pair is matched iff its owning plane
+// matched it.
+func (sh *Sharded) Matched(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return sh.subs[sh.part.OfRow(u)].Matched(u, v)
+}
+
+// MatchingSize implements Algorithm: planes own disjoint pair sets, so the
+// total is the plain sum.
+func (sh *Sharded) MatchingSize() int {
+	total := 0
+	for _, alg := range sh.subs {
+		total += alg.MatchingSize()
+	}
+	return total
+}
+
+// Reset implements Algorithm.
+func (sh *Sharded) Reset() {
+	for _, alg := range sh.subs {
+		alg.Reset()
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"obm/internal/trace"
+)
+
+// testTraceCompiled compiles a small Facebook-style trace against the
+// model's metric for the compiled-path tests.
+func testTraceCompiled(t *testing.T, n, requests int, seed uint64, model CostModel) *trace.Compiled {
+	t.Helper()
+	p := trace.FacebookPreset(trace.Database, n, seed)
+	p.Requests = requests
+	tr, err := trace.FacebookStyle(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tr.Compile(model.Metric.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func newShardedRBMA(t *testing.T, n, shards, b int, model CostModel, baseSeed uint64) *Sharded {
+	t.Helper()
+	part, err := NewPartition(n, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(part, func(shard int) (Algorithm, error) {
+		return NewRBMA(n, b, model, ShardSeed(baseSeed, shard))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := NewPartition(1, 1); err == nil {
+		t.Error("n = 1 accepted")
+	}
+	if _, err := NewPartition(8, 0); err == nil {
+		t.Error("shards = 0 accepted")
+	}
+	if _, err := NewPartition(8, 9); err == nil {
+		t.Error("shards > n accepted")
+	}
+}
+
+// TestPartitionOwnershipConsistent pins OfRow, OfReq and OfPair to one
+// another: every pair is owned by exactly the shard of its smaller
+// endpoint's row.
+func TestPartitionOwnershipConsistent(t *testing.T) {
+	const n = 12
+	idx := trace.SharedPairIndex(n)
+	for _, shards := range []int{1, 2, 3, 5, n} {
+		p, err := NewPartition(n, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < idx.NumPairs(); id++ {
+			u, v := idx.Endpoints(trace.PairID(id))
+			want := p.OfRow(u)
+			if got := p.OfPair(trace.PairID(id)); got != want {
+				t.Fatalf("shards=%d: OfPair({%d,%d}) = %d, OfRow(%d) = %d", shards, u, v, got, u, want)
+			}
+			req := trace.CompiledReq{ID: trace.PairID(id), U: int32(u), V: int32(v), Dist: 1}
+			if got := p.OfReq(req); got != want {
+				t.Fatalf("shards=%d: OfReq({%d,%d}) = %d, want %d", shards, u, v, got, want)
+			}
+			if want < 0 || want >= shards {
+				t.Fatalf("shards=%d: owner %d out of range", shards, want)
+			}
+		}
+	}
+}
+
+// TestShardedSingleShardMatchesPlain: one shard with ShardSeed(base, 0) is
+// the unsharded algorithm — identical steps, name, matching.
+func TestShardedSingleShardMatchesPlain(t *testing.T) {
+	const n, b = 16, 3
+	model := testModel(n, 30)
+	ct := testTraceCompiled(t, n, 8000, 3, model)
+	plain, err := NewRBMA(n, b, model, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := newShardedRBMA(t, n, 1, b, model, 42)
+	if sh.Name() != plain.Name() {
+		t.Fatalf("single-shard name %q != %q", sh.Name(), plain.Name())
+	}
+	for i, req := range ct.Reqs {
+		if got, want := sh.ServeCompiled(req), plain.ServeCompiled(req); got != want {
+			t.Fatalf("request %d: sharded step %+v != plain %+v", i, got, want)
+		}
+	}
+	if sh.MatchingSize() != plain.MatchingSize() {
+		t.Fatalf("matching size %d != %d", sh.MatchingSize(), plain.MatchingSize())
+	}
+}
+
+// TestShardedPlanesAreIndependent: each plane of a multi-shard run evolves
+// exactly like a standalone instance fed only that shard's requests.
+func TestShardedPlanesAreIndependent(t *testing.T) {
+	const n, b, shards = 16, 3, 4
+	model := testModel(n, 30)
+	ct := testTraceCompiled(t, n, 8000, 7, model)
+	sh := newShardedRBMA(t, n, shards, b, model, 9)
+	ref := make([]*RBMA, shards)
+	for s := range ref {
+		alg, err := NewRBMA(n, b, model, ShardSeed(9, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[s] = alg
+	}
+	part := sh.Partition()
+	size := 0
+	for i, req := range ct.Reqs {
+		s := part.OfReq(req)
+		if got, want := sh.ServeCompiled(req), ref[s].ServeCompiled(req); got != want {
+			t.Fatalf("request %d (shard %d): step %+v != standalone %+v", i, s, got, want)
+		}
+	}
+	for s := range ref {
+		if sh.Shard(s).MatchingSize() != ref[s].MatchingSize() {
+			t.Fatalf("shard %d size %d != standalone %d", s, sh.Shard(s).MatchingSize(), ref[s].MatchingSize())
+		}
+		size += ref[s].MatchingSize()
+		if err := CheckDegreeInvariant(sh.Shard(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sh.MatchingSize() != size {
+		t.Fatalf("MatchingSize %d != plane sum %d", sh.MatchingSize(), size)
+	}
+}
+
+// TestServeChunkMatchesPerRequest: the batch-apply path (ServeChunk +
+// FoldShardSteps) produces the same totals as per-request ServeCompiled
+// accumulation, and ApplyShard over shard-grouped runs agrees with both.
+func TestServeChunkMatchesPerRequest(t *testing.T) {
+	const n, b, shards, alpha = 16, 3, 3, 30.0
+	model := testModel(n, alpha)
+	ct := testTraceCompiled(t, n, 8000, 11, model)
+
+	perReq := newShardedRBMA(t, n, shards, b, model, 5)
+	var seq ShardStep
+	for _, req := range ct.Reqs {
+		seq.add(perReq.ServeCompiled(req), alpha)
+	}
+
+	chunked := newShardedRBMA(t, n, shards, b, model, 5)
+	acc := make([]ShardStep, shards)
+	for lo := 0; lo < len(ct.Reqs); lo += 1024 {
+		hi := min(lo+1024, len(ct.Reqs))
+		chunked.ServeChunk(alpha, ct.Reqs[lo:hi], acc)
+	}
+	if got := FoldShardSteps(acc); got != seq {
+		t.Fatalf("ServeChunk fold %+v != per-request total %+v", got, seq)
+	}
+
+	grouped := newShardedRBMA(t, n, shards, b, model, 5)
+	part := grouped.Partition()
+	byShard := make([][]trace.CompiledReq, shards)
+	for _, req := range ct.Reqs {
+		s := part.OfReq(req)
+		byShard[s] = append(byShard[s], req)
+	}
+	acc2 := make([]ShardStep, shards)
+	for s := range byShard {
+		grouped.ApplyShard(s, alpha, byShard[s], &acc2[s])
+	}
+	if got := FoldShardSteps(acc2); got != seq {
+		t.Fatalf("ApplyShard fold %+v != per-request total %+v", got, seq)
+	}
+	for s := range acc2 {
+		if acc2[s] != acc[s] {
+			t.Fatalf("shard %d: ApplyShard delta %+v != ServeChunk delta %+v", s, acc2[s], acc[s])
+		}
+	}
+}
+
+// TestShardedServeMatchesServeCompiled pins the raw Serve delegation to the
+// dense path.
+func TestShardedServeMatchesServeCompiled(t *testing.T) {
+	const n, b, shards = 12, 2, 3
+	model := testModel(n, 30)
+	ct := testTraceCompiled(t, n, 5000, 13, model)
+	viaServe := newShardedRBMA(t, n, shards, b, model, 1)
+	viaCompiled := newShardedRBMA(t, n, shards, b, model, 1)
+	for i, req := range ct.Reqs {
+		// Feed Serve the reversed endpoints to exercise canonicalization.
+		if got, want := viaServe.Serve(int(req.V), int(req.U)), viaCompiled.ServeCompiled(req); got != want {
+			t.Fatalf("request %d: Serve %+v != ServeCompiled %+v", i, got, want)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if viaServe.Matched(v, u) != viaCompiled.Matched(u, v) {
+				t.Fatalf("Matched(%d,%d) disagrees between paths", u, v)
+			}
+		}
+	}
+}
+
+// TestShardedReset: after Reset the sharded run replays identically.
+func TestShardedReset(t *testing.T) {
+	const n, b, shards = 12, 2, 3
+	model := testModel(n, 30)
+	ct := testTraceCompiled(t, n, 5000, 17, model)
+	sh := newShardedRBMA(t, n, shards, b, model, 21)
+	run := func() ShardStep {
+		var d ShardStep
+		for _, req := range ct.Reqs {
+			d.add(sh.ServeCompiled(req), 30)
+		}
+		return d
+	}
+	first := run()
+	sh.Reset()
+	if sh.MatchingSize() != 0 {
+		t.Fatal("Reset left matched edges")
+	}
+	if second := run(); second != first {
+		t.Fatalf("replay after Reset %+v != first run %+v", second, first)
+	}
+}
+
+// TestReseedMatchesFreshConstruction: Reseed must leave an instance in the
+// state a fresh construction with that seed produces — this is what lets
+// the figure drivers recycle instances across repetitions.
+func TestReseedMatchesFreshConstruction(t *testing.T) {
+	const n, b = 14, 3
+	model := testModel(n, 30)
+	ct := testTraceCompiled(t, n, 6000, 19, model)
+	run := func(alg Algorithm) ShardStep {
+		var d ShardStep
+		for _, req := range ct.Reqs {
+			d.add(alg.(CompiledServer).ServeCompiled(req), 30)
+		}
+		return d
+	}
+	recycled, err := NewRBMA(n, b, model, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(200); seed < 204; seed++ {
+		fresh, err := NewRBMA(n, b, model, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recycled.Reseed(seed)
+		if got, want := run(recycled), run(fresh); got != want {
+			t.Fatalf("seed %d: reseeded run %+v != fresh run %+v", seed, got, want)
+		}
+	}
+}

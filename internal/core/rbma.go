@@ -136,6 +136,14 @@ func (r *RBMA) setCaches(cs []paging.Cache) {
 	r.caches = cs
 }
 
+// Reseed implements Reseeder: the instance restarts from the initial state
+// a fresh construction with the new seed would have, reusing every backing
+// table.
+func (r *RBMA) Reseed(seed uint64) {
+	r.seed = seed
+	r.Reset()
+}
+
 // Reset implements Algorithm.
 func (r *RBMA) Reset() {
 	master := stats.NewRand(r.seed)
@@ -164,7 +172,11 @@ func (r *RBMA) Reset() {
 		}
 		r.bank = nil
 	}
-	r.m = matching.NewBMatching(r.n, r.b)
+	if r.m == nil {
+		r.m = matching.NewBMatching(r.n, r.b)
+	} else {
+		r.m.Reset()
+	}
 	np := r.idx.NumPairs()
 	if r.counter == nil {
 		r.counter = make([]int32, np)

@@ -129,35 +129,74 @@ func (w workload) buildConfig(scale float64, reps int, seed uint64) (sim.Config,
 	return cfg, model, tr, nil
 }
 
-// RBMASpec is the paper's algorithm.
+// RBMASpec is the paper's algorithm. One instance per b is memoized and
+// re-seeded in place across repetitions and repeated experiment runs
+// (core.Reseeder makes that exactly equivalent to fresh construction), so
+// the figure drivers stop allocating per-pair state tables once warm —
+// figures_alloc_test.go pins the steady state.
 func RBMASpec(n int, model core.CostModel) sim.AlgSpec {
+	var mu sync.Mutex
+	cache := make(map[int]*core.RBMA)
 	return sim.AlgSpec{
 		Name:   "r-bma",
 		FixedB: -1,
 		New: func(b int, rep uint64) (core.Algorithm, error) {
-			return core.NewRBMA(n, b, model, rep*0x9e3779b9+uint64(b))
+			seed := rep*0x9e3779b9 + uint64(b)
+			mu.Lock()
+			defer mu.Unlock()
+			if r, ok := cache[b]; ok {
+				r.Reseed(seed)
+				return r, nil
+			}
+			r, err := core.NewRBMA(n, b, model, seed)
+			if err != nil {
+				return nil, err
+			}
+			cache[b] = r
+			return r, nil
 		},
 	}
 }
 
-// BMASpec is the deterministic baseline.
+// BMASpec is the deterministic baseline, with the same per-b instance
+// memoization as RBMASpec (Reset restores the initial state in place).
 func BMASpec(n int, model core.CostModel) sim.AlgSpec {
+	var mu sync.Mutex
+	cache := make(map[int]*core.BMA)
 	return sim.AlgSpec{
 		Name:   "bma",
 		FixedB: -1,
 		New: func(b int, rep uint64) (core.Algorithm, error) {
-			return core.NewBMA(n, b, model)
+			mu.Lock()
+			defer mu.Unlock()
+			if a, ok := cache[b]; ok {
+				a.Reset()
+				return a, nil
+			}
+			a, err := core.NewBMA(n, b, model)
+			if err != nil {
+				return nil, err
+			}
+			cache[b] = a
+			return a, nil
 		},
 	}
 }
 
-// ObliviousSpec is the static-network-only baseline.
+// ObliviousSpec is the static-network-only baseline. The algorithm is
+// stateless, so a single instance serves every repetition.
 func ObliviousSpec(model core.CostModel) sim.AlgSpec {
+	var (
+		once sync.Once
+		inst *core.Oblivious
+		ierr error
+	)
 	return sim.AlgSpec{
 		Name:   "oblivious",
 		FixedB: 0,
 		New: func(b int, rep uint64) (core.Algorithm, error) {
-			return core.NewOblivious(model)
+			once.Do(func() { inst, ierr = core.NewOblivious(model) })
+			return inst, ierr
 		},
 	}
 }

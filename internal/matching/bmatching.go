@@ -49,6 +49,16 @@ func NewBMatching(n, b int) *BMatching {
 	}
 }
 
+// Reset empties the matching in place, leaving it indistinguishable from a
+// freshly constructed BMatching of the same dimensions. The backing slabs
+// are retained (incidence entries past a node's degree are never read), so
+// algorithms resetting between repetitions stop allocating once warm.
+func (m *BMatching) Reset() {
+	clear(m.deg)
+	clear(m.present)
+	m.size = 0
+}
+
 // pairBit returns the dense row-major pair index of {u, v}, u < v — the
 // same enumeration as trace.PairID, computed arithmetically so membership
 // is one bit test.

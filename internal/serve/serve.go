@@ -66,6 +66,11 @@ type Options struct {
 	GridWorkers int
 	// ChunkSize is the streaming chunk size per grid worker (0 = default).
 	ChunkSize int
+	// Parallel, when > 1, replays multi-plane jobs (scenario Shards > 1)
+	// with that many goroutines each (sim.GridOptions.Parallel). Job
+	// outcomes are byte-identical for every value, so it is safe to vary
+	// per deployment without invalidating stores or caches.
+	Parallel int
 	// CurvePoints is the cost-curve checkpoint count recorded per job
 	// (default 10; it is part of the spec hash, so changing it changes
 	// every job identity).
@@ -568,6 +573,7 @@ func (s *Server) runJob(j *job) {
 	base := sim.GridOptions{
 		Workers:   s.opt.GridWorkers,
 		ChunkSize: s.opt.ChunkSize,
+		Parallel:  s.opt.Parallel,
 		// sim reports every attempt (done counts failures and aborts
 		// too); job progress counts persisted successes only, so status
 		// never overstates what a resume would find in the store.

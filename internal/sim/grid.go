@@ -71,6 +71,13 @@ type GridOptions struct {
 	// CurvePoints, when > 0, records that many evenly spaced cost-curve
 	// checkpoints in every JobOutcome (0 keeps only the final costs).
 	CurvePoints int
+	// Parallel, when > 1, replays each job with up to that many worker
+	// goroutines when the job's algorithm is sharded (scenario Shards > 1);
+	// single-plane jobs always replay sequentially. Outcomes are
+	// byte-identical for every Parallel value — like Workers, it is a
+	// throughput knob, never part of job identity, so persisted outcomes,
+	// content-addressed caches and fleet shards stay valid across it.
+	Parallel int
 	// Shard/Shards statically partition the job grid: only jobs whose
 	// plan index i satisfies i % Shards == Shard are executed, so
 	// independent processes (or machines) running distinct shards of the
@@ -329,7 +336,7 @@ func RunGridContext(ctx context.Context, specs []ScenarioSpec, opt GridOptions) 
 		var res RunResult
 		return func(ji int) error {
 			j := &run[ji]
-			err := runGridJob(ctx, j.spec, j.model, j.alg, j.GridJob, opt.CurvePoints, chunk, &res)
+			err := runGridJob(ctx, j.spec, j.model, j.alg, j.GridJob, opt.CurvePoints, opt.Parallel, chunk, &res)
 			if err != nil {
 				err = fmt.Errorf("sim: grid %s: %w", j.GridJob, err)
 			} else {
@@ -404,7 +411,9 @@ func gridCheckpoints(total, curvePoints int) []int {
 // runGridJob replays one grid job: it builds the job's own streaming
 // source (workers never share generator state) against the scenario's
 // pre-built model and records cumulative costs at the job's checkpoints.
-func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, curvePoints int, chunk *trace.CompiledChunk, res *RunResult) error {
+// Multi-plane jobs take the parallel replay path when the grid runs with
+// Parallel > 1; the outcome is identical either way.
+func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, curvePoints, parallel int, chunk *trace.CompiledChunk, res *RunResult) error {
 	st, err := spec.NewStream()
 	if err != nil {
 		return err
@@ -417,7 +426,13 @@ func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as
 	if err != nil {
 		return err
 	}
-	return runSourceInto(ctx, res, alg, src, spec.Alpha, gridCheckpoints(src.Len(), curvePoints), chunk)
+	checkpoints := gridCheckpoints(src.Len(), curvePoints)
+	if parallel > 1 {
+		if sh, ok := alg.(*core.Sharded); ok && sh.Shards() > 1 {
+			return runSourceParallelInto(ctx, res, sh, src, spec.Alpha, checkpoints, chunk, parallel)
+		}
+	}
+	return runSourceInto(ctx, res, alg, src, spec.Alpha, checkpoints, chunk)
 }
 
 // WriteCSV emits the grid result as tidy CSV, one row per aggregated cell.

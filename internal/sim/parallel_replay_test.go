@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"obm/internal/core"
+	"obm/internal/graph"
+	"obm/internal/stats"
+	"obm/internal/trace"
+)
+
+// Golden suite for the parallel replay path: on every paper trace family,
+// RunSourceParallel must be byte-identical to sequential RunSource — for
+// every shard count, every worker count, and every algorithm in the grid
+// line-up. α is 30 (integer) as in all presets, so the canonical-order fold
+// is exact, not merely reproducible.
+
+// newGoldenAlg builds one replay instance: the named algorithm wrapped into
+// shards planes (shards <= 1 still wraps, so the parallel pump itself is
+// exercised at one shard).
+func newGoldenAlg(t *testing.T, name string, n, shards, b int, model core.CostModel) *core.Sharded {
+	t.Helper()
+	part, err := core.NewPartition(n, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := core.NewSharded(part, func(shard int) (core.Algorithm, error) {
+		switch name {
+		case "rbma":
+			return core.NewRBMA(n, b, model, core.ShardSeed(1, shard))
+		case "bma":
+			return core.NewBMA(n, b, model)
+		case "oblivious":
+			return core.NewOblivious(model)
+		}
+		t.Fatalf("unknown algorithm %q", name)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func TestParallelReplayGolden(t *testing.T) {
+	fams := goldenStreams(t)
+	algs := []string{"rbma", "bma", "oblivious"}
+	shardCounts := []int{1, 2, 4, 7}
+	if testing.Short() {
+		fams = fams[:2]
+		shardCounts = []int{1, 4, 7}
+	}
+	for _, fam := range fams {
+		t.Run(fam.name, func(t *testing.T) {
+			mat, err := fam.mat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := mat.NumRacks
+			model := core.CostModel{Metric: graph.FatTreeRacks(n).Metric(), Alpha: streamGoldenAlpha}
+			ct, err := mat.Compile(model.Metric.Dist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cps := Checkpoints(mat.Len(), 8)
+			for _, algName := range algs {
+				for _, shards := range shardCounts {
+					want, err := RunSource(newGoldenAlg(t, algName, n, shards, 6, model),
+						ct.Source(), model.Alpha, cps, 997)
+					if err != nil {
+						t.Fatal(err)
+					}
+					workerCounts := []int{shards, 2, shards + 9}
+					if testing.Short() {
+						workerCounts = workerCounts[:1]
+					}
+					for _, workers := range workerCounts {
+						// Replay through the generator-backed streaming
+						// source, so the reader overlaps generation with
+						// the shard workers like a real grid job.
+						st, err := fam.stream()
+						if err != nil {
+							t.Fatal(err)
+						}
+						src, err := trace.NewSource(st, model.Metric.Dist)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := RunSourceParallel(newGoldenAlg(t, algName, n, shards, 6, model),
+							src, model.Alpha, cps, 997, workers)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := fam.name + "/" + algName
+						sameCurves(t, label, &got, &want)
+						if got.Series.Label != want.Series.Label {
+							t.Errorf("%s: label %q != %q", label, got.Series.Label, want.Series.Label)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelReplaySingleShardMatchesPlain: one plane seeded with the base
+// seed is the classic unsharded algorithm, so parallel replay at shards = 1
+// must reproduce plain sequential RunSource bit for bit — unconditionally,
+// for any α, since the single accumulator replays the sequential meter's
+// exact operation sequence.
+func TestParallelReplaySingleShardMatchesPlain(t *testing.T) {
+	fam := goldenStreams(t)[0]
+	mat, err := fam.mat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mat.NumRacks
+	model := core.CostModel{Metric: graph.FatTreeRacks(n).Metric(), Alpha: streamGoldenAlpha}
+	ct, err := mat.Compile(model.Metric.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := Checkpoints(mat.Len(), 8)
+	plain, err := core.NewRBMA(n, 6, model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunSource(plain, ct.Source(), model.Alpha, cps, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSourceParallel(newGoldenAlg(t, "rbma", n, 1, 6, model),
+		ct.Source(), model.Alpha, cps, 8192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCurves(t, "single-shard", &got, &want)
+	if got.Series.Label != want.Series.Label {
+		t.Errorf("single-shard label %q != plain %q", got.Series.Label, want.Series.Label)
+	}
+}
+
+// TestParallelReplayFallbackNonSharded: a non-sharded algorithm silently
+// takes the sequential path and still matches RunSource.
+func TestParallelReplayFallbackNonSharded(t *testing.T) {
+	fam := goldenStreams(t)[1]
+	mat, err := fam.mat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mat.NumRacks
+	model := core.CostModel{Metric: graph.FatTreeRacks(n).Metric(), Alpha: streamGoldenAlpha}
+	ct, err := mat.Compile(model.Metric.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := Checkpoints(mat.Len(), 5)
+	newAlg := func() core.Algorithm {
+		alg, err := core.NewBMA(n, 4, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	}
+	want, err := RunSource(newAlg(), ct.Source(), model.Alpha, cps, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSourceParallel(newAlg(), ct.Source(), model.Alpha, cps, 4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCurves(t, "fallback", &got, &want)
+}
+
+// TestParallelReplayCancellation: a cancelled context aborts the replay
+// with the context's error and leaves no goroutines behind (the race
+// detector and goroutine leak checks in -race CI would flag stragglers).
+func TestParallelReplayCancellation(t *testing.T) {
+	fam := goldenStreams(t)[2]
+	mat, err := fam.mat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mat.NumRacks
+	model := core.CostModel{Metric: graph.FatTreeRacks(n).Metric(), Alpha: streamGoldenAlpha}
+	ct, err := mat.Compile(model.Metric.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var res RunResult
+	err = runSourceParallelInto(ctx, &res, newGoldenAlg(t, "rbma", n, 4, 6, model),
+		ct.Source(), model.Alpha, []int{mat.Len()}, trace.NewChunk(1024), 4)
+	if err == nil {
+		t.Fatal("cancelled parallel replay returned nil error")
+	}
+}
+
+// TestRunGridParallelMatchesSequential: a multi-plane scenario produces
+// identical grid outcomes whether jobs replay sequentially or in parallel —
+// the GridOptions.Parallel knob is invisible in results, which is what
+// keeps run stores and fleet shards valid across it.
+func TestRunGridParallelMatchesSequential(t *testing.T) {
+	specs := []ScenarioSpec{{
+		Name: "planes", Family: "uniform",
+		Racks: 24, Requests: 12000, Seed: 3,
+		Bs: []int{2, 4}, Reps: 2, Shards: 4,
+	}}
+	stripTimes := func(g *GridResult) {
+		for i := range g.Rows {
+			g.Rows[i].ElapsedMS = stats.Summary{}
+		}
+	}
+	seq, err := RunGrid(specs, GridOptions{Workers: 1, CurvePoints: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimes(seq)
+	for _, parallel := range []int{2, 4, 9} {
+		par, err := RunGrid(specs, GridOptions{Workers: 1, CurvePoints: 6, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripTimes(par)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallel=%d grid result differs from sequential", parallel)
+		}
+	}
+}

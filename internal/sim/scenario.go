@@ -32,6 +32,17 @@ type ScenarioSpec struct {
 	Bs []int `json:"bs"`
 	// Reps is the repetition count (algorithm seeds differ per rep).
 	Reps int `json:"reps"`
+	// Shards, when > 1, runs every algorithm as that many independent
+	// switch planes over a node-row partition of the pair universe
+	// (core.Sharded): each plane keeps its own degree-b matching over the
+	// pairs it owns, so a rack can hold up to Shards·b optical edges in
+	// total — the multi-layer reconfigurable fabrics of the rotor-switch
+	// literature. Shard count is part of the experiment's identity
+	// (results for S planes differ from one plane); it also unlocks the
+	// parallel replay path (GridOptions.Parallel), which never changes
+	// results. 0 and 1 both mean the classic single-plane algorithm and
+	// hash identically (omitempty), so existing persisted runs stay valid.
+	Shards int `json:"shards,omitempty"`
 	// Algs names the algorithm line-up (see Algorithms); default
 	// ["r-bma", "bma", "oblivious"].
 	Algs []string `json:"algs,omitempty"`
@@ -78,6 +89,9 @@ func (s ScenarioSpec) Validate() error {
 	}
 	if strings.ContainsAny(s.Name, ",\"\n") {
 		return fmt.Errorf("sim: scenario name %q must not contain commas, quotes or newlines (it names CSV rows)", s.Name)
+	}
+	if s.Shards < 0 || s.Shards > s.Racks {
+		return fmt.Errorf("sim: scenario %q: shards = %d out of [0, racks = %d]", s.Name, s.Shards, s.Racks)
 	}
 	for _, a := range s.Algs {
 		if _, err := algBuilder(a); err != nil {
@@ -222,6 +236,20 @@ func param(spec ScenarioSpec, key string, def float64) float64 {
 	return def
 }
 
+// shardedAlg wraps an algorithm constructor into a core.Sharded when the
+// spec asks for multiple planes; Shards <= 1 builds the plain single-plane
+// algorithm directly (no wrapper, so classic scenarios are untouched).
+func shardedAlg(spec ScenarioSpec, build func(shard int) (core.Algorithm, error)) (core.Algorithm, error) {
+	if spec.Shards <= 1 {
+		return build(0)
+	}
+	part, err := core.NewPartition(spec.Racks, spec.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSharded(part, build)
+}
+
 // checkParams rejects unknown knobs, the classic silent-typo failure of
 // stringly-typed JSON configs.
 func checkParams(spec ScenarioSpec, known ...string) error {
@@ -320,14 +348,20 @@ func init() {
 	})
 
 	// Algorithm line-up. Seeding matches internal/figures: the randomized
-	// algorithm's seed varies per (rep, b).
+	// algorithm's seed varies per (rep, b); in multi-plane scenarios each
+	// plane derives its own seed from that base via core.ShardSeed (plane 0
+	// keeps the base, so shards = 1 is seeded exactly like the classic
+	// single-plane run).
 	algBuilders["r-bma"] = func(spec ScenarioSpec, model core.CostModel) AlgSpec {
 		n := spec.Racks
 		return AlgSpec{
 			Name:   "r-bma",
 			FixedB: -1,
 			New: func(b int, rep uint64) (core.Algorithm, error) {
-				return core.NewRBMA(n, b, model, rep*0x9e3779b9+uint64(b))
+				base := rep*0x9e3779b9 + uint64(b)
+				return shardedAlg(spec, func(shard int) (core.Algorithm, error) {
+					return core.NewRBMA(n, b, model, core.ShardSeed(base, shard))
+				})
 			},
 		}
 	}
@@ -337,7 +371,9 @@ func init() {
 			Name:   "bma",
 			FixedB: -1,
 			New: func(b int, rep uint64) (core.Algorithm, error) {
-				return core.NewBMA(n, b, model)
+				return shardedAlg(spec, func(int) (core.Algorithm, error) {
+					return core.NewBMA(n, b, model)
+				})
 			},
 		}
 	}
@@ -346,6 +382,8 @@ func init() {
 			Name:   "oblivious",
 			FixedB: 0,
 			New: func(b int, rep uint64) (core.Algorithm, error) {
+				// Stateless: planes would all behave identically, so the
+				// oblivious baseline never shards.
 				return core.NewOblivious(model)
 			},
 		}

@@ -62,6 +62,11 @@ type Options struct {
 	GridWorkers int
 	// ChunkSize is the streaming chunk size per grid worker (0 = default).
 	ChunkSize int
+	// Parallel, when > 1, replays multi-plane jobs (scenario Shards > 1)
+	// with that many goroutines each (sim.GridOptions.Parallel). Outcomes
+	// are byte-identical for every value, so a heterogeneous fleet mixing
+	// different -parallel settings still agrees exactly on every job.
+	Parallel int
 	// Poll is how long to wait between lease attempts when the
 	// coordinator has nothing to lease (default 2s).
 	Poll time.Duration
@@ -330,6 +335,7 @@ func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
 	_, runErr := store.RunContext(shardCtx, sim.GridOptions{
 		Workers:   r.opt.GridWorkers,
 		ChunkSize: r.opt.ChunkSize,
+		Parallel:  r.opt.Parallel,
 	})
 	if serr := store.Sync(); runErr == nil && serr != nil {
 		runErr = serr

@@ -7,8 +7,10 @@
 #   out.json   output path; default is a timestamped BENCH_<yyyymmddHHMMSS>.json
 #              in the repo root, "-" writes to stdout
 #   benchtime  go test -benchtime value (default: 1s)
-#   pattern    benchmark regexp (default: the Fig1 suite + Serve microbenchmarks,
-#              the acceptance benchmarks of the dense-hot-path refactor)
+#   pattern    benchmark regexp (default: the Fig1 suite + Serve microbenchmarks
+#              — the acceptance benchmarks of the dense-hot-path refactor — plus
+#              the ReplayParallel multi-core scaling suite, whose shards=1..8
+#              sub-benchmarks record speedup-vs-cores in the BENCH_* trajectory)
 #
 # The JSON schema is one object per benchmark:
 #   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
@@ -22,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_$(date +%Y%m%d%H%M%S).json}"
 BENCHTIME="${2:-1s}"
-PATTERN="${3:-BenchmarkFig1|BenchmarkServe}"
+PATTERN="${3:-BenchmarkFig1|BenchmarkServe|BenchmarkReplayParallel}"
 
 if [ "$OUT" = "-" ]; then
     OUT=""

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"obm/internal/engine"
+)
+
+// jsonList is a repeatable flag collecting raw JSON documents.
+type jsonList []string
+
+func (l *jsonList) String() string     { return strings.Join(*l, " ") }
+func (l *jsonList) Set(s string) error { *l = append(*l, s); return nil }
+
+// engineMain implements the `experiments engine` subcommand: the live
+// matching engine. It owns algorithm sessions and serves them on two
+// ports — an HTTP/JSON control plane (sessions, single-request serve,
+// status with latency quantiles, pprof) and a binary batch-ingest TCP
+// port (the zero-allocation hot path; see internal/engine's wire format).
+func engineMain(args []string) {
+	fs := flag.NewFlagSet("experiments engine", flag.ExitOnError)
+	var creates jsonList
+	var (
+		addr        = fs.String("addr", "127.0.0.1:9090", "HTTP control/status listen address (also serves /debug/pprof)")
+		ingest      = fs.String("ingest", "127.0.0.1:9091", "binary batch-ingest listen address")
+		maxSessions = fs.Int("max-sessions", 64, "live session cap")
+		quiet       = fs.Bool("quiet", false, "suppress per-connection log lines")
+	)
+	fs.Var(&creates, "create", "create a session at startup from SessionConfig JSON "+
+		`(e.g. '{"id":"live","racks":64,"b":8}'; repeatable)`)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: experiments engine [flags]\n\n"+
+			"Runs the live matching engine: long-lived algorithm sessions served at\n"+
+			"line rate. Control plane (-addr):\n\n"+
+			"  POST   /api/v1/sessions            create ({\"id\",\"racks\",\"b\",\"alg\",\"alpha\",\"seed\",\"shards\"})\n"+
+			"  GET    /api/v1/sessions            all session statuses\n"+
+			"  GET    /api/v1/sessions/{id}       status: cumulative costs + latency quantiles\n"+
+			"  DELETE /api/v1/sessions/{id}       drop a session\n"+
+			"  POST   /api/v1/sessions/{id}/serve serve one request ({\"u\":3,\"v\":7})\n"+
+			"  GET    /healthz                    liveness\n"+
+			"  /debug/pprof/                      runtime profiles\n\n"+
+			"Bulk traffic goes to the binary protocol on -ingest (see\n"+
+			"`experiments loadgen` and internal/engine). A session fed a request\n"+
+			"sequence reports cumulative costs bit-identical to an offline replay\n"+
+			"of that sequence with the same algorithm parameters and seed.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+
+	opts := engine.Options{MaxSessions: *maxSessions}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	e := engine.New(opts)
+	for _, doc := range creates {
+		var cfg engine.SessionConfig
+		dec := json.NewDecoder(strings.NewReader(doc))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			fatal(fmt.Errorf("engine: bad -create %q: %w", doc, err))
+		}
+		s, err := e.CreateSession(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "engine: created session %q\n", s.ID())
+	}
+
+	ingestLn, err := net.Listen("tcp", *ingest)
+	if err != nil {
+		fatal(err)
+	}
+	httpLn, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: e.Handler()}
+	fmt.Fprintf(os.Stderr, "engine: control on http://%s, binary ingest on %s\n",
+		httpLn.Addr(), ingestLn.Addr())
+
+	errc := make(chan error, 2)
+	go func() { errc <- e.ServeIngest(ingestLn) }()
+	go func() { errc <- srv.Serve(httpLn) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "engine: %s — shutting down\n", sig)
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	e.Close()
+	fmt.Fprintln(os.Stderr, "engine: stopped")
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"obm/internal/engine"
+	"obm/internal/sim"
+	"obm/internal/trace"
+)
+
+// loadgenMain implements the `experiments loadgen` subcommand: an
+// open-loop driver for the live engine's binary ingest port. Each
+// connection owns one session and one workload stream (a trace.Stream
+// from the scenario-family registry), pipelines batches up to -window
+// deep, and reports achieved throughput. With -verify the final
+// cumulative costs are checked bit-for-bit against an offline
+// sim.RunSource replay of the same stream through an identically-seeded
+// algorithm — the engine's determinism contract, asserted end to end over
+// a real socket.
+func loadgenMain(args []string) {
+	fs := flag.NewFlagSet("experiments loadgen", flag.ExitOnError)
+	var (
+		ingest   = fs.String("ingest", "127.0.0.1:9091", "engine binary-ingest address")
+		control  = fs.String("control", "http://127.0.0.1:9090", "engine control-plane URL for session setup (empty = sessions already exist)")
+		session  = fs.String("session", "loadgen", "session id (id prefix when -conns > 1)")
+		family   = fs.String("family", "uniform", "workload family (sim scenario registry)")
+		racks    = fs.Int("racks", 64, "rack count")
+		requests = fs.Int("requests", 1000000, "requests per connection")
+		seed     = fs.Uint64("seed", 1, "base seed: connection i streams with seed+i and seeds its algorithm with seed+i")
+		b        = fs.Int("b", 8, "matching degree cap")
+		alg      = fs.String("alg", "r-bma", "algorithm")
+		alpha    = fs.Float64("alpha", 30, "reconfiguration cost")
+		shards   = fs.Int("shards", 0, "switch planes per session (0/1 = classic single plane)")
+		batch    = fs.Int("batch", 1024, "requests per batch frame")
+		window   = fs.Int("window", 8, "pipelined batches in flight per connection")
+		conns    = fs.Int("conns", 1, "concurrent connections, each with its own session + stream")
+		verify   = fs.Bool("verify", false, "after draining, replay offline and require bit-identical costs")
+		keep     = fs.Bool("keep", false, "leave the sessions live instead of deleting them")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: experiments loadgen [flags]\n\n"+
+			"Drives an `experiments engine` ingest port with generated workload\n"+
+			"streams and reports throughput; -verify additionally replays the same\n"+
+			"streams offline (sim.RunSource) and requires the engine's cumulative\n"+
+			"costs to match bit for bit.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+
+	type connResult struct {
+		id       string
+		streamed int
+		elapsed  time.Duration
+		final    engine.BatchResult
+		err      error
+	}
+	results := make([]connResult, *conns)
+
+	// Session setup over the control plane.
+	sessionID := func(i int) string {
+		if *conns == 1 {
+			return *session
+		}
+		return fmt.Sprintf("%s-%d", *session, i)
+	}
+	if *control != "" {
+		for i := 0; i < *conns; i++ {
+			cfg := engine.SessionConfig{
+				ID: sessionID(i), Racks: *racks, B: *b,
+				Alg: *alg, Alpha: *alpha, Seed: *seed + uint64(i), Shards: *shards,
+			}
+			body, err := json.Marshal(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			resp, err := http.Post(*control+"/api/v1/sessions", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fatal(fmt.Errorf("loadgen: creating session %q: %w", cfg.ID, err))
+			}
+			if resp.StatusCode != http.StatusCreated {
+				var msg bytes.Buffer
+				msg.ReadFrom(resp.Body)
+				resp.Body.Close()
+				fatal(fmt.Errorf("loadgen: creating session %q: %s: %s", cfg.ID, resp.Status, msg.String()))
+			}
+			resp.Body.Close()
+		}
+		if !*keep {
+			defer func() {
+				for i := 0; i < *conns; i++ {
+					req, _ := http.NewRequest(http.MethodDelete, *control+"/api/v1/sessions/"+sessionID(i), nil)
+					if resp, err := http.DefaultClient.Do(req); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}()
+		}
+	}
+
+	// spec builds connection i's workload stream — and, under -verify, the
+	// identically-parameterized offline replay.
+	spec := func(i int) sim.ScenarioSpec {
+		return sim.ScenarioSpec{
+			Name: "loadgen", Family: *family,
+			Racks: *racks, Requests: *requests, Seed: *seed + uint64(i),
+			Alpha: *alpha, Bs: []int{*b}, Algs: []string{*alg}, Shards: *shards,
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			r.id = sessionID(i)
+			st, err := spec(i).NewStream()
+			if err != nil {
+				r.err = err
+				return
+			}
+			c, _, err := engine.DialIngest(*ingest, r.id, *window)
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer c.Close()
+			buf := make([]trace.Request, *batch)
+			t0 := time.Now()
+			for {
+				n := st.Next(buf)
+				if n == 0 {
+					break
+				}
+				if _, err := c.Send(buf[:n]); err != nil {
+					r.err = err
+					return
+				}
+				r.streamed += n
+			}
+			final, err := c.Drain()
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.elapsed = time.Since(t0)
+			r.final = *final
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	total := 0
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			fatal(fmt.Errorf("loadgen: conn %s: %w", r.id, r.err))
+		}
+		if int(r.final.Served) != r.streamed {
+			fatal(fmt.Errorf("loadgen: conn %s: engine served %d of %d streamed", r.id, r.final.Served, r.streamed))
+		}
+		total += r.streamed
+		fmt.Printf("loadgen: conn %s: %d reqs in %.2fs = %.3f Mreq/s, routing %.0f, reconfig %.0f, matching %d\n",
+			r.id, r.streamed, r.elapsed.Seconds(), float64(r.streamed)/r.elapsed.Seconds()/1e6,
+			r.final.Routing, r.final.Reconfig, r.final.MatchingSize)
+	}
+	fmt.Printf("loadgen: total %d reqs over %d conns in %.2fs = %.3f Mreq/s\n",
+		total, *conns, wall.Seconds(), float64(total)/wall.Seconds()/1e6)
+
+	if *verify {
+		for i := range results {
+			s := spec(i)
+			a, err := s.BuildAlgorithm(*alg, *b, *seed+uint64(i))
+			if err != nil {
+				fatal(err)
+			}
+			src, err := s.NewSource()
+			if err != nil {
+				fatal(err)
+			}
+			res, err := sim.RunSource(a, src, *alpha, []int{*requests}, 0)
+			if err != nil {
+				fatal(err)
+			}
+			r := &results[i]
+			if math.Float64bits(r.final.Routing) != math.Float64bits(res.Series.Routing[0]) ||
+				math.Float64bits(r.final.Reconfig) != math.Float64bits(res.Series.Reconfig[0]) {
+				fatal(fmt.Errorf("loadgen: verify MISMATCH on %s: engine (%v, %v) != offline (%v, %v)",
+					r.id, r.final.Routing, r.final.Reconfig, res.Series.Routing[0], res.Series.Reconfig[0]))
+			}
+		}
+		fmt.Printf("loadgen: verify MATCH: %d conns bit-identical to offline replay\n", *conns)
+	}
+}

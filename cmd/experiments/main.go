@@ -44,6 +44,16 @@
 // and docs/OPERATIONS.md):
 //
 //	experiments worker -coordinator http://127.0.0.1:8080 -capacity 2
+//
+// The engine subcommand runs the live matching engine: long-lived
+// algorithm sessions served over an HTTP/JSON control plane plus a
+// zero-allocation binary batch-ingest port, with cumulative costs
+// bit-identical to offline replay; loadgen drives it with generated
+// workload streams and (with -verify) asserts that identity end to end
+// (see internal/engine):
+//
+//	experiments engine -addr 127.0.0.1:9090 -ingest 127.0.0.1:9091
+//	experiments loadgen -family uniform -requests 1000000 -verify
 package main
 
 import (
@@ -76,12 +86,18 @@ func main() {
 		case "worker":
 			workerMain(os.Args[2:])
 			return
+		case "engine":
+			engineMain(os.Args[2:])
+			return
+		case "loadgen":
+			loadgenMain(os.Args[2:])
+			return
 		default:
 			// Anything positional that is not a known subcommand must not
 			// fall through to figure mode (whose default is the full-scale
 			// `-figure all` run).
 			if !strings.HasPrefix(os.Args[1], "-") {
-				fatal(fmt.Errorf("unknown subcommand %q (have: grid, merge, report, serve, worker; figure mode takes flags only)", os.Args[1]))
+				fatal(fmt.Errorf("unknown subcommand %q (have: grid, merge, report, serve, worker, engine, loadgen; figure mode takes flags only)", os.Args[1]))
 			}
 		}
 	}

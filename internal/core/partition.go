@@ -88,9 +88,12 @@ type ShardStep struct {
 	Removals int
 }
 
-// add folds one serve result into the accumulator. The operation order
-// mirrors sim's cost meter: one += per cost component per step.
-func (d *ShardStep) add(st Step, alpha float64) {
+// Add folds one serve result into the accumulator. The operation order
+// mirrors sim's cost meter: one += per cost component per step — it IS
+// the accumulation step of every replay path (sequential, parallel and
+// the live engine), which is what makes their cumulative cost streams
+// bit-identical.
+func (d *ShardStep) Add(st Step, alpha float64) {
 	d.Routing += st.RoutingCost
 	d.Reconfig += st.ReconfigCost(alpha)
 	d.Adds += st.Adds
@@ -208,13 +211,13 @@ func (sh *Sharded) ServeCompiled(req trace.CompiledReq) Step {
 func (sh *Sharded) ApplyShard(s int, alpha float64, reqs []trace.CompiledReq, d *ShardStep) {
 	if cs := sh.fast[s]; cs != nil {
 		for _, req := range reqs {
-			d.add(cs.ServeCompiled(req), alpha)
+			d.Add(cs.ServeCompiled(req), alpha)
 		}
 		return
 	}
 	alg := sh.subs[s]
 	for _, req := range reqs {
-		d.add(alg.Serve(int(req.U), int(req.V)), alpha)
+		d.Add(alg.Serve(int(req.U), int(req.V)), alpha)
 	}
 }
 
@@ -232,7 +235,7 @@ func (sh *Sharded) ServeChunk(alpha float64, reqs []trace.CompiledReq, acc []Sha
 		} else {
 			st = sh.subs[s].Serve(int(req.U), int(req.V))
 		}
-		acc[s].add(st, alpha)
+		acc[s].Add(st, alpha)
 	}
 }
 

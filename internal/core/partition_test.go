@@ -150,7 +150,7 @@ func TestServeChunkMatchesPerRequest(t *testing.T) {
 	perReq := newShardedRBMA(t, n, shards, b, model, 5)
 	var seq ShardStep
 	for _, req := range ct.Reqs {
-		seq.add(perReq.ServeCompiled(req), alpha)
+		seq.Add(perReq.ServeCompiled(req), alpha)
 	}
 
 	chunked := newShardedRBMA(t, n, shards, b, model, 5)
@@ -216,7 +216,7 @@ func TestShardedReset(t *testing.T) {
 	run := func() ShardStep {
 		var d ShardStep
 		for _, req := range ct.Reqs {
-			d.add(sh.ServeCompiled(req), 30)
+			d.Add(sh.ServeCompiled(req), 30)
 		}
 		return d
 	}
@@ -240,7 +240,7 @@ func TestReseedMatchesFreshConstruction(t *testing.T) {
 	run := func(alg Algorithm) ShardStep {
 		var d ShardStep
 		for _, req := range ct.Reqs {
-			d.add(alg.(CompiledServer).ServeCompiled(req), 30)
+			d.Add(alg.(CompiledServer).ServeCompiled(req), 30)
 		}
 		return d
 	}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+
+	"obm/internal/trace"
+)
+
+// Client speaks the binary batch protocol. It pipelines: up to window
+// batches may be in flight before the client blocks on a result, which
+// keeps the engine's ingest loop fed across the network round-trip. All
+// buffers are reused, so a warmed client sends batches without
+// allocating. A Client is not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	window      int
+	outstanding int
+	frame       []byte // reused encode buffer
+	rbuf        []byte // reused readFrame buffer
+	res         BatchResult
+	hasRes      bool
+}
+
+// DialIngest connects to an engine's binary ingest address and binds the
+// connection to a session. window is the pipelining depth (<= 0 means 1:
+// strict request/response).
+func DialIngest(addr, session string, window int) (*Client, HelloInfo, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, HelloInfo{}, err
+	}
+	c, info, err := NewClient(conn, session, window)
+	if err != nil {
+		conn.Close()
+		return nil, HelloInfo{}, err
+	}
+	return c, info, nil
+}
+
+// NewClient performs the hello handshake for session over an established
+// connection.
+func NewClient(conn net.Conn, session string, window int) (*Client, HelloInfo, error) {
+	if window <= 0 {
+		window = 1
+	}
+	c := &Client{
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 64<<10),
+		bw:     bufio.NewWriterSize(conn, 32<<10),
+		window: window,
+	}
+	frame, err := appendHello(c.frame, session)
+	if err != nil {
+		return nil, HelloInfo{}, err
+	}
+	c.frame = frame
+	if _, err := c.bw.Write(c.frame); err != nil {
+		return nil, HelloInfo{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, HelloInfo{}, err
+	}
+	typ, payload, err := readFrame(c.br, &c.rbuf)
+	if err != nil {
+		return nil, HelloInfo{}, err
+	}
+	switch typ {
+	case frameHelloOK:
+		info, err := decodeHelloOK(payload)
+		return c, info, err
+	case frameError:
+		return nil, HelloInfo{}, decodeError(payload)
+	default:
+		return nil, HelloInfo{}, fmt.Errorf("engine: hello answered with frame type 0x%02x", typ)
+	}
+}
+
+// Send ships one batch. While the pipeline is filling it returns
+// (nil, nil); once window batches are in flight it blocks for one result
+// and returns it (valid until the next Send or Drain call).
+func (c *Client) Send(reqs []trace.Request) (*BatchResult, error) {
+	frame, err := appendBatch(c.frame, reqs)
+	if err != nil {
+		return nil, err
+	}
+	c.frame = frame
+	if _, err := c.bw.Write(c.frame); err != nil {
+		return nil, err
+	}
+	c.outstanding++
+	if c.outstanding < c.window {
+		return nil, nil
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := c.readResult(); err != nil {
+		return nil, err
+	}
+	return &c.res, nil
+}
+
+// Drain flushes and waits for every in-flight batch, returning the last
+// result — the session's cumulative counters after everything sent so
+// far. Valid with an empty pipeline only after at least one result has
+// been received.
+func (c *Client) Drain() (*BatchResult, error) {
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	for c.outstanding > 0 {
+		if err := c.readResult(); err != nil {
+			return nil, err
+		}
+	}
+	if !c.hasRes {
+		return nil, fmt.Errorf("engine: drain before any batch")
+	}
+	return &c.res, nil
+}
+
+// readResult consumes one result frame into c.res.
+func (c *Client) readResult() error {
+	typ, payload, err := readFrame(c.br, &c.rbuf)
+	if err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	switch typ {
+	case frameResult:
+		if err := decodeResult(payload, &c.res); err != nil {
+			return err
+		}
+		c.outstanding--
+		c.hasRes = true
+		return nil
+	case frameError:
+		return decodeError(payload)
+	default:
+		return fmt.Errorf("engine: batch answered with frame type 0x%02x", typ)
+	}
+}
+
+// Close tears down the connection. In-flight batches may or may not have
+// been served; call Drain first for a clean cut.
+func (c *Client) Close() error { return c.conn.Close() }

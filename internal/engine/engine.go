@@ -1,0 +1,302 @@
+// Package engine is the live matching engine: a long-lived server that
+// owns algorithm instances (sessions) and serves the paper's online
+// (b, α)-matching decisions at line rate. Each session wraps one
+// algorithm — the same core.CompiledServer / core.Sharded instances the
+// offline replay paths drive — behind the shared incremental step surface
+// (sim.Incremental), so a session fed a request sequence over the wire
+// reports cumulative costs bit-identical to an offline sim.RunSource
+// replay of that sequence.
+//
+// Two ingest paths share every session:
+//
+//   - HTTP/JSON (http.go): session lifecycle, a single-request serve path
+//     for operability, and status with latency quantiles.
+//   - A length-prefixed binary batch protocol over TCP (wire.go): the hot
+//     path, zero allocations per batch on both ends once warm.
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Options tunes an Engine.
+type Options struct {
+	// MaxSessions caps live sessions (default 64): each session owns an
+	// O(racks²) metric-backed algorithm, so the registry must not grow
+	// unboundedly on behalf of remote callers.
+	MaxSessions int
+	// Logf, when non-nil, receives connection-level log lines.
+	Logf func(format string, args ...any)
+}
+
+// Engine is the session registry plus the binary ingest listener. One
+// Engine serves any number of HTTP and TCP clients concurrently;
+// per-session serialization happens inside Session.
+type Engine struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int
+	closed   bool
+	lns      []net.Listener
+	conns    map[net.Conn]struct{}
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// New builds an empty engine.
+func New(opts Options) *Engine {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 64
+	}
+	return &Engine{
+		opts:     opts,
+		sessions: make(map[string]*Session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// CreateSession validates cfg, builds the algorithm instance and
+// registers the session. An empty cfg.ID gets an assigned "s<n>" name;
+// a duplicate ID is an error.
+func (e *Engine) CreateSession(cfg SessionConfig) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if len(e.sessions) >= e.opts.MaxSessions {
+		return nil, fmt.Errorf("engine: session limit %d reached", e.opts.MaxSessions)
+	}
+	id := cfg.ID
+	if id == "" {
+		e.seq++
+		id = fmt.Sprintf("s%d", e.seq)
+		cfg.ID = id
+	}
+	if _, ok := e.sessions[id]; ok {
+		return nil, fmt.Errorf("engine: session %q already exists", id)
+	}
+	s, err := newSession(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.sessions[id] = s
+	e.logf("engine: session %q created (racks=%d b=%d alg=%s alpha=%g shards=%d seed=%d)",
+		id, cfg.Racks, cfg.B, cfg.Alg, cfg.Alpha, cfg.Shards, cfg.Seed)
+	return s, nil
+}
+
+// Session looks up a live session.
+func (e *Engine) Session(id string) (*Session, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[id]
+	return s, ok
+}
+
+// DeleteSession removes a session, reporting whether it existed. Binary
+// connections bound to it fail their next batch.
+func (e *Engine) DeleteSession(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.sessions[id]
+	delete(e.sessions, id)
+	return ok
+}
+
+// Statuses snapshots every live session, sorted by ID.
+func (e *Engine) Statuses() []SessionStatus {
+	e.mu.Lock()
+	ss := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		ss = append(ss, s)
+	}
+	e.mu.Unlock()
+	out := make([]SessionStatus, len(ss))
+	for i, s := range ss {
+		out[i] = s.Status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ServeIngest accepts binary-protocol connections on ln until the
+// listener is closed (by Close or externally). Every connection gets its
+// own goroutine and reused frame buffers.
+func (e *Engine) ServeIngest(ln net.Listener) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	e.lns = append(e.lns, ln)
+	e.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		e.conns[conn] = struct{}{}
+		e.mu.Unlock()
+		go func() {
+			defer func() {
+				conn.Close()
+				e.mu.Lock()
+				delete(e.conns, conn)
+				e.mu.Unlock()
+			}()
+			if err := e.serveConn(conn); err != nil {
+				e.logf("engine: conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close shuts the engine: ingest listeners stop accepting, open binary
+// connections are severed, sessions are dropped.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	lns := e.lns
+	e.lns = nil
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.sessions = make(map[string]*Session)
+	e.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// serveConn runs one binary-protocol connection: a hello frame binds it
+// to a session, then batch frames stream until EOF or error. A protocol
+// or session error is reported with an error frame and closes the
+// connection; the session itself survives. The read buffer, scratch
+// request buffer (inside the session) and the fixed-size result frame are
+// all reused, so the per-batch loop allocates nothing.
+func (e *Engine) serveConn(conn net.Conn) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	var buf []byte
+
+	fail := func(err error) error {
+		bw.Write(appendErrorFrame(nil, err.Error()))
+		bw.Flush()
+		return err
+	}
+
+	// Handshake: exactly one hello first.
+	typ, payload, err := readFrame(br, &buf)
+	if err != nil {
+		return err
+	}
+	if typ != frameHello {
+		return fail(fmt.Errorf("engine: first frame type 0x%02x, want hello", typ))
+	}
+	if len(payload) < len(helloMagic)+2 || [4]byte(payload[:4]) != helloMagic {
+		return fail(errors.New("engine: bad hello magic"))
+	}
+	idLen := int(uint16(payload[4]) | uint16(payload[5])<<8)
+	if 6+idLen != len(payload) {
+		return fail(fmt.Errorf("engine: hello declares %d id bytes, carries %d", idLen, len(payload)-6))
+	}
+	id := string(payload[6 : 6+idLen])
+	sess, ok := e.Session(id)
+	if !ok {
+		return fail(fmt.Errorf("engine: unknown session %q", id))
+	}
+	var okBuf [headerSize + helloOKSize]byte
+	encodeHelloOK(&okBuf, sess.hello())
+	if _, err := bw.Write(okBuf[:]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// Steady state: batch in, result out. Flush only when no further
+	// frame is buffered, so a pipelining client gets its results in
+	// one segment.
+	var res BatchResult
+	var resBuf [headerSize + resultSize]byte
+	for {
+		typ, payload, err := readFrame(br, &buf)
+		if err != nil {
+			if err == io.EOF {
+				return bw.Flush()
+			}
+			return err
+		}
+		if typ != frameBatch {
+			return fail(fmt.Errorf("engine: frame type 0x%02x, want batch", typ))
+		}
+		if len(payload) < 4 {
+			return fail(fmt.Errorf("engine: batch payload %d bytes, want >= 4", len(payload)))
+		}
+		count := int(binary.LittleEndian.Uint32(payload))
+		if count == 0 || count > MaxBatch {
+			return fail(fmt.Errorf("engine: batch count %d out of range [1, %d]", count, MaxBatch))
+		}
+		if 4+8*count != len(payload) {
+			return fail(fmt.Errorf("engine: batch declares %d requests, carries %d bytes of pairs", count, len(payload)-4))
+		}
+		if _, live := e.Session(id); !live {
+			return fail(fmt.Errorf("engine: session %q deleted", id))
+		}
+		if err := sess.FeedBinary(payload[4:], &res); err != nil {
+			return fail(err)
+		}
+		encodeResult(&resBuf, &res)
+		if _, err := bw.Write(resBuf[:]); err != nil {
+			return err
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}

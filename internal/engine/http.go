@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The engine's HTTP/JSON control plane:
+//
+//	GET    /healthz                       liveness + session count
+//	POST   /api/v1/sessions               create a session (SessionConfig JSON)
+//	GET    /api/v1/sessions               all session statuses
+//	GET    /api/v1/sessions/{id}          one session's status
+//	DELETE /api/v1/sessions/{id}          drop a session
+//	POST   /api/v1/sessions/{id}/serve    serve one request ({"u": 3, "v": 7})
+//	/debug/pprof/...                      runtime profiles (CPU, heap, mutex)
+//
+// The serve route is the single-request operability path — correct but
+// per-request JSON-priced; bulk traffic belongs on the binary ingest port.
+// pprof rides on the status port (never the ingest port) so a live engine
+// can be profiled under load.
+
+// Handler returns the engine's control-plane handler.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", e.handleHealth)
+	mux.HandleFunc("POST /api/v1/sessions", e.handleCreate)
+	mux.HandleFunc("GET /api/v1/sessions", e.handleList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", e.withSession(e.handleStatus))
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", e.handleDelete)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/serve", e.withSession(e.handleServe))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// withSession resolves {id} to a live session.
+func (e *Engine) withSession(h func(http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s, ok := e.Session(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown session %q", id)
+			return
+		}
+		h(w, r, s)
+	}
+}
+
+func (e *Engine) handleHealth(w http.ResponseWriter, r *http.Request) {
+	e.mu.Lock()
+	n := len(e.sessions)
+	e.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": n})
+}
+
+func (e *Engine) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "bad session config: %v", err)
+		return
+	}
+	s, err := e.CreateSession(cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+func (e *Engine) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.Statuses())
+}
+
+func (e *Engine) handleStatus(w http.ResponseWriter, r *http.Request, s *Session) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (e *Engine) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !e.DeleteSession(id) {
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// serveRequest is the JSON body of the single-request serve path.
+type serveRequest struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// serveResponse mirrors a wire result frame in JSON.
+type serveResponse struct {
+	Served       uint64  `json:"served"`
+	Routing      float64 `json:"routing_cost"`
+	Reconfig     float64 `json:"reconfig_cost"`
+	Total        float64 `json:"total_cost"`
+	Adds         uint32  `json:"adds"`
+	Removals     uint32  `json:"removals"`
+	MatchingSize uint32  `json:"matching_size"`
+}
+
+func (e *Engine) handleServe(w http.ResponseWriter, r *http.Request, s *Session) {
+	var req serveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var res BatchResult
+	if err := s.ServeOne(req.U, req.V, &res); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, serveResponse{
+		Served:       res.Served,
+		Routing:      res.Routing,
+		Reconfig:     res.Reconfig,
+		Total:        res.Routing + res.Reconfig,
+		Adds:         res.Adds,
+		Removals:     res.Removals,
+		MatchingSize: res.MatchingSize,
+	})
+}

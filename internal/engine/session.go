@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"obm/internal/graph"
+	"obm/internal/sim"
+	"obm/internal/stats"
+	"obm/internal/trace"
+)
+
+// SessionConfig describes one live matching session: a datacenter shape
+// (racks, fat-tree metric), an algorithm instance and its parameters.
+// The zero values of Alg, Alpha and Shards mean the paper defaults
+// (r-bma, α = 30, one plane).
+type SessionConfig struct {
+	// ID names the session; empty lets the engine assign "s1", "s2", ….
+	ID string `json:"id,omitempty"`
+	// Racks is the number of racks (fat-tree leaves); requests address
+	// racks in [0, Racks).
+	Racks int `json:"racks"`
+	// B is the matching degree cap per rack (per plane when sharded).
+	B int `json:"b"`
+	// Alg names the algorithm (sim registry; default "r-bma").
+	Alg string `json:"alg,omitempty"`
+	// Alpha is the reconfiguration cost (default 30, the figures' value).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Seed seeds the randomized algorithms, playing the role a grid job's
+	// repetition index plays: the instance is the one
+	// sim.ScenarioSpec.BuildAlgorithm(Alg, B, Seed) builds, so an offline
+	// replay with the same parameters reproduces the session bit for bit.
+	Seed uint64 `json:"seed,omitempty"`
+	// Shards, when > 1, runs the algorithm as that many independent switch
+	// planes (core.Sharded), exactly like a grid scenario with Shards set.
+	Shards int `json:"shards,omitempty"`
+}
+
+// withDefaults fills the optional fields.
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Alg == "" {
+		c.Alg = "r-bma"
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 30
+	}
+	return c
+}
+
+// spec maps the session onto a scenario spec so algorithm construction,
+// sharding and seeding reuse the grid's registry verbatim. The family
+// fields are irrelevant (the engine's workload arrives over the wire) but
+// must parse; uniform with one request is the cheapest valid stand-in.
+func (c SessionConfig) spec() sim.ScenarioSpec {
+	return sim.ScenarioSpec{
+		Name: "engine", Family: "uniform",
+		Racks: c.Racks, Requests: 1,
+		Alpha:  c.Alpha,
+		Bs:     []int{c.B},
+		Algs:   []string{c.Alg},
+		Shards: c.Shards,
+	}
+}
+
+// Validate reports whether the config can build a session.
+func (c SessionConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Racks < 2 {
+		return fmt.Errorf("engine: racks = %d, need >= 2", c.Racks)
+	}
+	if c.B < 1 {
+		return fmt.Errorf("engine: b = %d, need >= 1", c.B)
+	}
+	return c.spec().Validate()
+}
+
+// Session is one live matching instance: an algorithm plus the shared
+// incremental accumulator (sim.Incremental), a request compiler bound to
+// the session's metric, and a latency histogram. All mutation happens
+// under mu; the binary ingest path reuses the session's scratch buffer so
+// a warmed session serves batches without allocating.
+type Session struct {
+	id      string
+	cfg     SessionConfig // defaults filled
+	created time.Time
+	metric  *graph.Metric
+	idx     *trace.PairIndex
+
+	mu      sync.Mutex
+	inc     sim.Incremental
+	hist    stats.Histogram
+	batches uint64
+	scratch []trace.CompiledReq
+}
+
+// newSession builds a session from a validated, defaults-filled config.
+func newSession(id string, cfg SessionConfig) (*Session, error) {
+	alg, err := cfg.spec().BuildAlgorithm(cfg.Alg, cfg.B, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		id:      id,
+		cfg:     cfg,
+		created: time.Now(),
+		metric:  graph.FatTreeRacks(cfg.Racks).Metric(),
+		idx:     trace.SharedPairIndex(cfg.Racks),
+	}
+	s.inc.Init(alg, cfg.Alpha)
+	return s, nil
+}
+
+// ID returns the session's name.
+func (s *Session) ID() string { return s.id }
+
+// Config returns the session's defaults-filled config.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// hello snapshots the fields of a helloOK frame.
+func (s *Session) hello() HelloInfo {
+	s.mu.Lock()
+	served := uint64(s.inc.Counters().Served)
+	s.mu.Unlock()
+	return HelloInfo{Racks: s.cfg.Racks, B: s.cfg.B, Alpha: s.cfg.Alpha, Served: served}
+}
+
+// FeedBinary serves one wire-format batch: p is the pair array of a batch
+// frame (count × 8 bytes, little-endian u32 rack pairs), already
+// length-checked by the caller. The whole batch is validated before the
+// first request is served, so an invalid batch leaves the session
+// untouched. res is filled with the post-batch cumulative counters and
+// the batch's matching deltas. Alloc-free once the scratch buffer has
+// grown to the batch size.
+func (s *Session) FeedBinary(p []byte, res *BatchResult) error {
+	n := len(p) / 8
+	racks := uint32(s.cfg.Racks)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	if cap(s.scratch) < n {
+		s.scratch = make([]trace.CompiledReq, n)
+	}
+	reqs := s.scratch[:n]
+	for i := 0; i < n; i++ {
+		u := binary.LittleEndian.Uint32(p[i*8:])
+		v := binary.LittleEndian.Uint32(p[i*8+4:])
+		if u >= racks || v >= racks {
+			return fmt.Errorf("engine: request %d: pair (%d, %d) outside %d racks", i, u, v, racks)
+		}
+		if u == v {
+			return fmt.Errorf("engine: request %d: self-pair (%d, %d)", i, u, v)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		iu, iv := int(u), int(v)
+		reqs[i] = trace.CompiledReq{
+			ID: s.idx.ID(iu, iv),
+			U:  int32(u), V: int32(v),
+			Dist: int32(s.metric.Dist(iu, iv)),
+		}
+	}
+	adds, removals := s.inc.FeedChunk(reqs)
+	s.fill(res, adds, removals)
+	s.batches++
+	s.hist.Record(uint64(time.Since(start)))
+	return nil
+}
+
+// ServeOne serves a single request (the HTTP path): endpoints in either
+// order, validated like FeedBinary.
+func (s *Session) ServeOne(u, v int, res *BatchResult) error {
+	if u < 0 || v < 0 || u >= s.cfg.Racks || v >= s.cfg.Racks {
+		return fmt.Errorf("engine: pair (%d, %d) outside %d racks", u, v, s.cfg.Racks)
+	}
+	if u == v {
+		return fmt.Errorf("engine: self-pair (%d, %d)", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	req := trace.CompiledReq{
+		ID: s.idx.ID(u, v),
+		U:  int32(u), V: int32(v),
+		Dist: int32(s.metric.Dist(u, v)),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	before := s.inc.Counters()
+	s.inc.Feed(req)
+	after := s.inc.Counters()
+	s.fill(res, after.Adds-before.Adds, after.Removals-before.Removals)
+	s.batches++
+	s.hist.Record(uint64(time.Since(start)))
+	return nil
+}
+
+// fill snapshots the cumulative counters into res. Caller holds mu.
+func (s *Session) fill(res *BatchResult, adds, removals int) {
+	c := s.inc.Counters()
+	res.Served = uint64(c.Served)
+	res.Routing = c.Routing
+	res.Reconfig = c.Reconfig
+	res.Adds = uint32(adds)
+	res.Removals = uint32(removals)
+	res.MatchingSize = uint32(s.inc.MatchingSize())
+}
+
+// LatencySummary reports a session's per-batch serve latency distribution
+// (microseconds, from the alloc-free log2 histogram in internal/stats).
+type LatencySummary struct {
+	Batches uint64  `json:"batches"`
+	P50us   float64 `json:"p50_us"`
+	P90us   float64 `json:"p90_us"`
+	P99us   float64 `json:"p99_us"`
+	P999us  float64 `json:"p999_us"`
+	MaxUs   float64 `json:"max_us"`
+	MeanUs  float64 `json:"mean_us"`
+}
+
+// SessionStatus is one session's externally visible state: config,
+// cumulative counters (the same numbers the wire's result frames carry)
+// and serve-latency quantiles.
+type SessionStatus struct {
+	ID           string         `json:"id"`
+	Config       SessionConfig  `json:"config"`
+	CreatedAt    time.Time      `json:"created_at"`
+	Served       int64          `json:"served"`
+	Routing      float64        `json:"routing_cost"`
+	Reconfig     float64        `json:"reconfig_cost"`
+	Total        float64        `json:"total_cost"`
+	Adds         int            `json:"adds"`
+	Removals     int            `json:"removals"`
+	MatchingSize int            `json:"matching_size"`
+	Latency      LatencySummary `json:"latency"`
+}
+
+// Status snapshots the session.
+func (s *Session) Status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.inc.Counters()
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	return SessionStatus{
+		ID:           s.id,
+		Config:       s.cfg,
+		CreatedAt:    s.created,
+		Served:       c.Served,
+		Routing:      c.Routing,
+		Reconfig:     c.Reconfig,
+		Total:        c.Total(),
+		Adds:         c.Adds,
+		Removals:     c.Removals,
+		MatchingSize: s.inc.MatchingSize(),
+		Latency: LatencySummary{
+			Batches: s.batches,
+			P50us:   us(s.hist.Quantile(0.5)),
+			P90us:   us(s.hist.Quantile(0.9)),
+			P99us:   us(s.hist.Quantile(0.99)),
+			P999us:  us(s.hist.Quantile(0.999)),
+			MaxUs:   us(s.hist.Max()),
+			MeanUs:  s.hist.Mean() / 1e3,
+		},
+	}
+}

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"obm/internal/trace"
+)
+
+// The binary batch protocol: the engine's line-rate ingest path. A client
+// opens a TCP connection, binds it to a session with a hello frame, then
+// streams request batches; the engine answers every batch with one result
+// frame carrying the session's cumulative costs (bit-identical to an
+// offline replay of the same request sequence) and the batch's matching
+// deltas. Framing is length-prefixed so both sides read with two
+// io.ReadFulls into reused buffers — the steady-state hot path allocates
+// nothing on either end.
+//
+// All integers are little-endian. Every frame is
+//
+//	u32 payload length | u8 frame type | payload
+//
+// with payloads:
+//
+//	hello   (0x01, client→engine)  "OBM1" | u16 id length | session id
+//	batch   (0x02, client→engine)  u32 count | count × (u32 u | u32 v)
+//	helloOK (0x81, engine→client)  u32 racks | u32 b | f64 alpha | u64 served
+//	result  (0x82, engine→client)  u64 served | f64 routing | f64 reconfig |
+//	                               u32 adds | u32 removals | u32 matching size
+//	error   (0x7f, engine→client)  u16 message length | message (UTF-8)
+//
+// A batch's (u, v) words are rack indices in either order (the engine
+// canonicalizes); `served`, `routing` and `reconfig` are cumulative over
+// the session, while `adds`/`removals` count only the batch's matching
+// changes. An error frame is terminal: the engine closes the connection
+// after sending it (the session itself survives — reconnect and continue).
+const (
+	frameHello   byte = 0x01
+	frameBatch   byte = 0x02
+	frameHelloOK byte = 0x81
+	frameResult  byte = 0x82
+	frameError   byte = 0x7f
+
+	headerSize = 5
+
+	// maxFramePayload bounds one frame; it caps a batch at MaxBatch
+	// requests and keeps a malicious length prefix from ballooning the
+	// reused read buffer.
+	maxFramePayload = 1 << 20
+
+	// MaxBatch is the largest request count one batch frame may carry.
+	MaxBatch = (maxFramePayload - 4) / 8
+
+	helloOKSize = 4 + 4 + 8 + 8
+	resultSize  = 8 + 8 + 8 + 4 + 4 + 4
+)
+
+// helloMagic guards against a stray client speaking the wrong protocol:
+// it is the first payload bytes of the first frame on every connection.
+var helloMagic = [4]byte{'O', 'B', 'M', '1'}
+
+// BatchResult is one result frame: the session's cumulative counters
+// after serving a batch, plus the batch's own matching deltas.
+type BatchResult struct {
+	// Served is the session's cumulative request count.
+	Served uint64
+	// Routing and Reconfig are the session's cumulative costs — the same
+	// bits an offline sim.RunSource replay of the full request sequence
+	// reports at this request count.
+	Routing  float64
+	Reconfig float64
+	// Adds and Removals count the matching edges changed by this batch.
+	Adds     uint32
+	Removals uint32
+	// MatchingSize is the current number of matching edges.
+	MatchingSize uint32
+}
+
+// HelloInfo is the engine's hello acknowledgment: the session's shape and
+// how many requests it has already served (non-zero when re-attaching to
+// a live session).
+type HelloInfo struct {
+	Racks  int
+	B      int
+	Alpha  float64
+	Served uint64
+}
+
+// putHeader writes the 5-byte frame header.
+func putHeader(b []byte, typ byte, payloadLen int) {
+	binary.LittleEndian.PutUint32(b, uint32(payloadLen))
+	b[4] = typ
+}
+
+// appendHello appends a complete hello frame.
+func appendHello(dst []byte, session string) ([]byte, error) {
+	if len(session) == 0 || len(session) > math.MaxUint16 {
+		return dst, fmt.Errorf("engine: session id length %d out of range [1, %d]", len(session), math.MaxUint16)
+	}
+	n := len(helloMagic) + 2 + len(session)
+	dst = growFrame(dst, n)
+	putHeader(dst, frameHello, n)
+	p := dst[headerSize:]
+	copy(p, helloMagic[:])
+	binary.LittleEndian.PutUint16(p[4:], uint16(len(session)))
+	copy(p[6:], session)
+	return dst, nil
+}
+
+// appendBatch appends a complete batch frame encoding reqs as (u, v)
+// uint32 pairs. dst is reused across calls, so steady-state encoding
+// allocates nothing.
+func appendBatch(dst []byte, reqs []trace.Request) ([]byte, error) {
+	if len(reqs) == 0 || len(reqs) > MaxBatch {
+		return dst, fmt.Errorf("engine: batch of %d requests out of range [1, %d]", len(reqs), MaxBatch)
+	}
+	n := 4 + 8*len(reqs)
+	dst = growFrame(dst, n)
+	putHeader(dst, frameBatch, n)
+	p := dst[headerSize:]
+	binary.LittleEndian.PutUint32(p, uint32(len(reqs)))
+	p = p[4:]
+	for i, r := range reqs {
+		binary.LittleEndian.PutUint32(p[i*8:], uint32(r.Src))
+		binary.LittleEndian.PutUint32(p[i*8+4:], uint32(r.Dst))
+	}
+	return dst, nil
+}
+
+// growFrame returns dst resized to hold a frame with an n-byte payload,
+// reallocating only when capacity is short.
+func growFrame(dst []byte, n int) []byte {
+	need := headerSize + n
+	if cap(dst) < need {
+		return make([]byte, need)
+	}
+	return dst[:need]
+}
+
+// encodeHelloOK fills buf with a complete helloOK frame.
+func encodeHelloOK(buf *[headerSize + helloOKSize]byte, info HelloInfo) {
+	putHeader(buf[:], frameHelloOK, helloOKSize)
+	p := buf[headerSize:]
+	binary.LittleEndian.PutUint32(p[0:], uint32(info.Racks))
+	binary.LittleEndian.PutUint32(p[4:], uint32(info.B))
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(info.Alpha))
+	binary.LittleEndian.PutUint64(p[16:], info.Served)
+}
+
+// decodeHelloOK parses a helloOK payload.
+func decodeHelloOK(p []byte) (HelloInfo, error) {
+	if len(p) != helloOKSize {
+		return HelloInfo{}, fmt.Errorf("engine: helloOK payload is %d bytes, want %d", len(p), helloOKSize)
+	}
+	return HelloInfo{
+		Racks:  int(binary.LittleEndian.Uint32(p[0:])),
+		B:      int(binary.LittleEndian.Uint32(p[4:])),
+		Alpha:  math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+		Served: binary.LittleEndian.Uint64(p[16:]),
+	}, nil
+}
+
+// encodeResult fills buf with a complete result frame.
+func encodeResult(buf *[headerSize + resultSize]byte, r *BatchResult) {
+	putHeader(buf[:], frameResult, resultSize)
+	p := buf[headerSize:]
+	binary.LittleEndian.PutUint64(p[0:], r.Served)
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(r.Routing))
+	binary.LittleEndian.PutUint64(p[16:], math.Float64bits(r.Reconfig))
+	binary.LittleEndian.PutUint32(p[24:], r.Adds)
+	binary.LittleEndian.PutUint32(p[28:], r.Removals)
+	binary.LittleEndian.PutUint32(p[32:], r.MatchingSize)
+}
+
+// decodeResult parses a result payload into res.
+func decodeResult(p []byte, res *BatchResult) error {
+	if len(p) != resultSize {
+		return fmt.Errorf("engine: result payload is %d bytes, want %d", len(p), resultSize)
+	}
+	res.Served = binary.LittleEndian.Uint64(p[0:])
+	res.Routing = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+	res.Reconfig = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+	res.Adds = binary.LittleEndian.Uint32(p[24:])
+	res.Removals = binary.LittleEndian.Uint32(p[28:])
+	res.MatchingSize = binary.LittleEndian.Uint32(p[32:])
+	return nil
+}
+
+// appendErrorFrame appends a complete error frame, truncating the message
+// to fit its u16 length.
+func appendErrorFrame(dst []byte, msg string) []byte {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	n := 2 + len(msg)
+	dst = growFrame(dst, n)
+	putHeader(dst, frameError, n)
+	p := dst[headerSize:]
+	binary.LittleEndian.PutUint16(p, uint16(len(msg)))
+	copy(p[2:], msg)
+	return dst
+}
+
+// decodeError parses an error payload into a Go error.
+func decodeError(p []byte) error {
+	if len(p) < 2 {
+		return fmt.Errorf("engine: truncated error frame (%d bytes)", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if 2+n != len(p) {
+		return fmt.Errorf("engine: error frame declares %d message bytes, carries %d", n, len(p)-2)
+	}
+	return fmt.Errorf("engine: remote error: %s", p[2:2+n])
+}
+
+// readFrame reads one frame into *buf (grown once, then reused),
+// returning the type and the payload slice aliasing *buf. A payload
+// larger than maxFramePayload is rejected before any of it is read.
+func readFrame(br *bufio.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
+	// The header is read into the reused payload buffer (and parsed
+	// before the payload overwrites it): a local header array would
+	// escape through the io.ReadFull interface call and cost one heap
+	// allocation per frame.
+	if cap(*buf) < headerSize {
+		*buf = make([]byte, headerSize)
+	}
+	hdr := (*buf)[:headerSize]
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	typ = hdr[4]
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("engine: frame payload of %d bytes exceeds limit %d", n, maxFramePayload)
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	payload = (*buf)[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("engine: truncated frame (want %d payload bytes): %w", n, err)
+	}
+	return typ, payload, nil
+}

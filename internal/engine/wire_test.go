@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"io"
+	"strings"
+	"testing"
+
+	"obm/internal/trace"
+)
+
+// The golden wire bytes: hand-assembled hex for every frame type. These
+// pin the protocol's exact encoding — a byte-order or layout change breaks
+// these before it breaks a live deployment.
+func TestWireGoldenBytes(t *testing.T) {
+	golden := []struct {
+		name string
+		got  func(t *testing.T) []byte
+		hex  string
+	}{
+		{
+			name: "hello",
+			got: func(t *testing.T) []byte {
+				b, err := appendHello(nil, "ab")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			},
+			// len=8 | 0x01 | "OBM1" | idLen=2 | "ab"
+			hex: "08000000" + "01" + "4f424d31" + "0200" + "6162",
+		},
+		{
+			name: "batch",
+			got: func(t *testing.T) []byte {
+				b, err := appendBatch(nil, []trace.Request{{Src: 3, Dst: 7}, {Src: 9, Dst: 2}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			},
+			// len=20 | 0x02 | count=2 | (3,7) | (9,2)
+			hex: "14000000" + "02" + "02000000" + "03000000" + "07000000" + "09000000" + "02000000",
+		},
+		{
+			name: "helloOK",
+			got: func(t *testing.T) []byte {
+				var buf [headerSize + helloOKSize]byte
+				encodeHelloOK(&buf, HelloInfo{Racks: 40, B: 8, Alpha: 30, Served: 7})
+				return buf[:]
+			},
+			// len=24 | 0x81 | racks=40 | b=8 | alpha=30.0 | served=7
+			hex: "18000000" + "81" + "28000000" + "08000000" + "000000000000" + "3e40" + "0700000000000000",
+		},
+		{
+			name: "result",
+			got: func(t *testing.T) []byte {
+				var buf [headerSize + resultSize]byte
+				encodeResult(&buf, &BatchResult{
+					Served: 5, Routing: 1.5, Reconfig: 90,
+					Adds: 3, Removals: 1, MatchingSize: 4,
+				})
+				return buf[:]
+			},
+			// len=36 | 0x82 | served=5 | 1.5 | 90.0 | adds=3 | rm=1 | ms=4
+			hex: "24000000" + "82" + "0500000000000000" +
+				"000000000000f83f" + "0000000000805640" +
+				"03000000" + "01000000" + "04000000",
+		},
+		{
+			name: "error",
+			got:  func(t *testing.T) []byte { return appendErrorFrame(nil, "boom") },
+			// len=6 | 0x7f | msgLen=4 | "boom"
+			hex: "06000000" + "7f" + "0400" + "626f6f6d",
+		},
+	}
+	for _, g := range golden {
+		want, err := hex.DecodeString(g.hex)
+		if err != nil {
+			t.Fatalf("%s: bad golden hex: %v", g.name, err)
+		}
+		if got := g.got(t); !bytes.Equal(got, want) {
+			t.Errorf("%s:\n got %x\nwant %x", g.name, got, want)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	in := BatchResult{Served: 1 << 40, Routing: 123.456, Reconfig: 7890, Adds: 12, Removals: 9, MatchingSize: 320}
+	var buf [headerSize + resultSize]byte
+	encodeResult(&buf, &in)
+	var out BatchResult
+	if err := decodeResult(buf[headerSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("result round-trip: got %+v, want %+v", out, in)
+	}
+
+	info := HelloInfo{Racks: 128, B: 16, Alpha: 45.5, Served: 99}
+	var hb [headerSize + helloOKSize]byte
+	encodeHelloOK(&hb, info)
+	got, err := decodeHelloOK(hb[headerSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Errorf("helloOK round-trip: got %+v, want %+v", got, info)
+	}
+
+	if err := decodeError(appendErrorFrame(nil, "kaput")[headerSize:]); err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Errorf("error round-trip: %v", err)
+	}
+}
+
+// readOne frames raw bytes through readFrame.
+func readOne(raw []byte) (byte, []byte, error) {
+	var buf []byte
+	return readFrame(bufio.NewReader(bytes.NewReader(raw)), &buf)
+}
+
+func TestWireTruncatedAndCorrupt(t *testing.T) {
+	whole, err := appendBatch(nil, []trace.Request{{Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation at every boundary: mid-header and mid-payload.
+	for cut := 0; cut < len(whole); cut++ {
+		_, _, err := readOne(whole[:cut])
+		if err == nil {
+			t.Fatalf("cut at %d bytes: no error", cut)
+		}
+		if cut >= headerSize && err != nil && !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("cut at %d bytes: error %q does not mention truncation", cut, err)
+		}
+	}
+	if _, _, err := readOne(whole); err != nil {
+		t.Fatalf("whole frame: %v", err)
+	}
+
+	// A length prefix past the limit is rejected before any payload read.
+	huge := append([]byte(nil), whole...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := readOne(huge); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame: %v", err)
+	}
+
+	// Corrupt fixed-size payloads.
+	if _, err := decodeHelloOK(make([]byte, helloOKSize-1)); err == nil {
+		t.Error("short helloOK decoded")
+	}
+	var res BatchResult
+	if err := decodeResult(make([]byte, resultSize+1), &res); err == nil {
+		t.Error("long result decoded")
+	}
+	if err := decodeError([]byte{9}); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("1-byte error frame: %v", err)
+	}
+	if err := decodeError([]byte{9, 0, 'x'}); err == nil || !strings.Contains(err.Error(), "declares") {
+		t.Errorf("mislengthed error frame: %v", err)
+	}
+
+	// Batch and hello encoders reject out-of-range inputs.
+	if _, err := appendBatch(nil, nil); err == nil {
+		t.Error("empty batch encoded")
+	}
+	if _, err := appendHello(nil, ""); err == nil {
+		t.Error("empty session id encoded")
+	}
+}
+
+// TestWireReadFrameReuse pins the zero-alloc contract of the read path:
+// once the buffer has grown, reading frames allocates nothing.
+func TestWireReadFrameReuse(t *testing.T) {
+	frame, err := appendBatch(nil, []trace.Request{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	const n = 50
+	for i := 0; i < n; i++ {
+		stream.Write(frame)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream.Bytes()))
+	var buf []byte
+	if _, _, err := readFrame(br, &buf); err != nil { // growth read
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(n-2, func() {
+		if _, _, err := readFrame(br, &buf); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("readFrame allocates %.1f times per frame, want 0", allocs)
+	}
+}

@@ -97,43 +97,35 @@ func validateCheckpoints(checkpoints []int, traceLen int) error {
 	return nil
 }
 
-// costMeter accumulates per-step costs and samples them at checkpoints.
-// nextCP is the upcoming checkpoint (or -1), kept denormalized so the
-// replay loops pay one integer compare per request instead of a method
-// call.
+// costMeter samples an Incremental's cumulative totals at checkpoints:
+// the replay loops feed requests through the embedded stepper (the same
+// accumulation path the live engine runs) and the meter appends series
+// points. nextCP is the upcoming checkpoint (or -1), kept denormalized so
+// the replay loops pay one integer compare per request instead of a
+// method call.
 type costMeter struct {
-	res               *RunResult
-	checkpoints       []int
-	alpha             float64
-	routing, reconfig float64
-	adds, removals    int
-	ci                int
-	nextCP            int
+	res         *RunResult
+	inc         Incremental
+	checkpoints []int
+	ci          int
+	nextCP      int
 }
 
-func newCostMeter(res *RunResult, checkpoints []int, alpha float64) costMeter {
-	m := costMeter{res: res, checkpoints: checkpoints, alpha: alpha, nextCP: -1}
+func newCostMeter(res *RunResult, checkpoints []int, alg core.Algorithm, alpha float64) costMeter {
+	m := costMeter{res: res, checkpoints: checkpoints, nextCP: -1}
+	m.inc.Init(alg, alpha)
 	if len(checkpoints) > 0 {
 		m.nextCP = checkpoints[0]
 	}
 	return m
 }
 
-// step folds one Serve result into the running totals. Small enough to
-// inline into the replay loops.
-func (c *costMeter) step(st core.Step) {
-	c.routing += st.RoutingCost
-	c.reconfig += st.ReconfigCost(c.alpha)
-	c.adds += st.Adds
-	c.removals += st.Removals
-}
-
 // checkpoint samples the running totals at request count i+1.
 func (c *costMeter) checkpoint(i int) {
 	for c.ci < len(c.checkpoints) && i+1 == c.checkpoints[c.ci] {
 		c.res.Series.X = append(c.res.Series.X, i+1)
-		c.res.Series.Routing = append(c.res.Series.Routing, c.routing)
-		c.res.Series.Reconfig = append(c.res.Series.Reconfig, c.reconfig)
+		c.res.Series.Routing = append(c.res.Series.Routing, c.inc.tot.Routing)
+		c.res.Series.Reconfig = append(c.res.Series.Reconfig, c.inc.tot.Reconfig)
 		c.ci++
 	}
 	c.nextCP = -1
@@ -144,8 +136,8 @@ func (c *costMeter) checkpoint(i int) {
 
 // finish folds the step totals back into the result.
 func (c *costMeter) finish() {
-	c.res.Adds = c.adds
-	c.res.Removals = c.removals
+	c.res.Adds = c.inc.tot.Adds
+	c.res.Removals = c.inc.tot.Removals
 }
 
 // Run replays tr through alg, recording cumulative costs at the given
@@ -167,10 +159,10 @@ func runInto(res *RunResult, alg core.Algorithm, tr *trace.Trace, alpha float64,
 		return err
 	}
 	res.reset(alg.Name())
-	m := newCostMeter(res, checkpoints, alpha)
+	m := newCostMeter(res, checkpoints, alg, alpha)
 	start := time.Now()
 	for i, req := range tr.Reqs {
-		m.step(alg.Serve(int(req.Src), int(req.Dst)))
+		m.inc.FeedRaw(int(req.Src), int(req.Dst))
 		if i+1 == m.nextCP {
 			m.checkpoint(i)
 		}
@@ -200,21 +192,12 @@ func runCompiledInto(res *RunResult, alg core.Algorithm, ct *trace.Compiled, alp
 		return err
 	}
 	res.reset(alg.Name())
-	m := newCostMeter(res, checkpoints, alpha)
+	m := newCostMeter(res, checkpoints, alg, alpha)
 	start := time.Now()
-	if cs, ok := alg.(core.CompiledServer); ok {
-		for i, req := range ct.Reqs {
-			m.step(cs.ServeCompiled(req))
-			if i+1 == m.nextCP {
-				m.checkpoint(i)
-			}
-		}
-	} else {
-		for i, req := range ct.Reqs {
-			m.step(alg.Serve(int(req.U), int(req.V)))
-			if i+1 == m.nextCP {
-				m.checkpoint(i)
-			}
+	for i, req := range ct.Reqs {
+		m.inc.Feed(req)
+		if i+1 == m.nextCP {
+			m.checkpoint(i)
 		}
 	}
 	res.Elapsed = time.Since(start)

@@ -56,6 +56,70 @@ type shardBatch struct {
 	marks []shardMark
 }
 
+// parallelScratch is the per-run working set of the parallel replay —
+// per-shard accumulators, checkpoint samples (flat, s·ncp+ci), scatter
+// state, the worker channels and the batch free list. It is recycled
+// through a sync.Pool: a grid run executes thousands of parallel replays,
+// and without reuse each one paid O(shards) allocations for this state
+// plus a fresh set of batch buffers (the old code closed its channels at
+// drain, so nothing survived a run). Workers now terminate on a nil
+// sentinel batch instead of channel close, which is what lets the
+// channels — and the recycled batches queued on the free list — live
+// across runs. The alloc-growth guard in parallel_replay_test.go pins
+// the effect.
+type parallelScratch struct {
+	finals  []core.ShardStep
+	samples []cpSample
+	cur     []*shardBatch
+	work    []chan *shardBatch
+	free    chan *shardBatch
+}
+
+var parallelPool sync.Pool
+
+// getParallelScratch returns a scratch sized for (shards, workers, ncp),
+// growing a pooled one only where capacity is short.
+func getParallelScratch(shards, workers, ncp int) *parallelScratch {
+	sc, _ := parallelPool.Get().(*parallelScratch)
+	if sc == nil {
+		sc = &parallelScratch{}
+	}
+	if cap(sc.finals) < shards {
+		sc.finals = make([]core.ShardStep, shards)
+	} else {
+		sc.finals = sc.finals[:shards]
+		clear(sc.finals)
+	}
+	if need := shards * ncp; cap(sc.samples) < need {
+		sc.samples = make([]cpSample, need)
+	} else {
+		sc.samples = sc.samples[:need]
+	}
+	if cap(sc.cur) < shards {
+		sc.cur = make([]*shardBatch, shards)
+	} else {
+		sc.cur = sc.cur[:shards]
+		clear(sc.cur)
+	}
+	for len(sc.work) < workers {
+		sc.work = append(sc.work, make(chan *shardBatch, 2))
+	}
+	if sc.free == nil || cap(sc.free) < 4*shards {
+		// Migrate recycled batches into the bigger free list.
+		old := sc.free
+		sc.free = make(chan *shardBatch, 4*shards)
+		for old != nil {
+			select {
+			case b := <-old:
+				sc.free <- b
+			default:
+				old = nil
+			}
+		}
+	}
+	return sc
+}
+
 // RunSourceParallel replays src through alg with up to `workers` worker
 // goroutines (<= 0 selects GOMAXPROCS, capped at the shard count),
 // resetting the source first. alg must be a *core.Sharded for the replay
@@ -94,23 +158,21 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 	res.reset(alg.Name())
 	part := sh.Partition()
 
-	// Per-shard state. Each entry is written by exactly one worker
-	// goroutine (shard s is pinned to worker s % workers) and read only
-	// after the WaitGroup barrier.
-	finals := make([]core.ShardStep, shards)
-	samples := make([][]cpSample, shards)
-	for s := range samples {
-		samples[s] = make([]cpSample, len(checkpoints))
-	}
-
-	work := make([]chan *shardBatch, workers)
-	for w := range work {
-		work[w] = make(chan *shardBatch, 2)
-	}
+	// Per-shard state, recycled across runs through the scratch pool. Each
+	// finals/samples entry is written by exactly one worker goroutine
+	// (shard s is pinned to worker s % workers) and read only after the
+	// WaitGroup barrier. samples is flat: shard s's checkpoint ci lives at
+	// s*ncp + ci.
+	ncp := len(checkpoints)
+	sc := getParallelScratch(shards, workers, ncp)
+	defer parallelPool.Put(sc)
+	finals := sc.finals
+	samples := sc.samples
+	work := sc.work[:workers]
 	// Recycled batch buffers: enough for every shard to have one batch in
 	// flight per channel slot plus one being filled, without the reader
 	// ever needing a fresh allocation in steady state.
-	free := make(chan *shardBatch, 4*shards)
+	free := sc.free
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -118,14 +180,21 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for b := range work[w] {
+			for {
+				// nil is the termination sentinel — the channels are never
+				// closed, so they (and the batches on the free list) outlive
+				// the run inside the pooled scratch.
+				b := <-work[w]
+				if b == nil {
+					return
+				}
 				s := b.shard
 				d := &finals[s]
 				prev := int32(0)
 				for _, mk := range b.marks {
 					sh.ApplyShard(s, alpha, b.reqs[prev:mk.pos], d)
 					prev = mk.pos
-					samples[s][mk.ci] = cpSample{d.Routing, d.Reconfig}
+					samples[s*ncp+int(mk.ci)] = cpSample{d.Routing, d.Reconfig}
 				}
 				sh.ApplyShard(s, alpha, b.reqs[prev:], d)
 				select {
@@ -137,7 +206,7 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 	}
 	drain := func() {
 		for w := range work {
-			close(work[w])
+			work[w] <- nil
 		}
 		wg.Wait()
 	}
@@ -157,7 +226,7 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 
 	// Scatter loop: split each chunk by owner, stamp checkpoint marks into
 	// every shard's batch, hand finished batches to the owning worker.
-	cur := make([]*shardBatch, shards)
+	cur := sc.cur
 	pos, ci := 0, 0
 	nextCP := -1
 	if len(checkpoints) > 0 {
@@ -225,8 +294,8 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 	for i, cp := range checkpoints {
 		var routing, reconfig float64
 		for s := 0; s < shards; s++ {
-			routing += samples[s][i].routing
-			reconfig += samples[s][i].reconfig
+			routing += samples[s*ncp+i].routing
+			reconfig += samples[s*ncp+i].reconfig
 		}
 		res.Series.X = append(res.Series.X, cp)
 		res.Series.Routing = append(res.Series.Routing, routing)

@@ -231,3 +231,44 @@ func TestRunGridParallelMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelReplayAllocGrowth guards the scratch-pool fix: repeated
+// parallel replays with reused result and chunk buffers must not pay
+// O(shards) allocations per run. Before the parallelScratch pool, each
+// run rebuilt its accumulators, sample matrix, channels and batch free
+// list (~480 allocs/run at shards=8); now the steady state is a handful
+// of allocations (worker goroutine launches and the result's series
+// appends), independent of how much the free list recycles.
+func TestParallelReplayAllocGrowth(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per goroutine/sync op; the bound only holds uninstrumented")
+	}
+	const (
+		racks    = 64
+		requests = 20000
+		shards   = 8
+	)
+	model := core.CostModel{Metric: graph.FatTreeRacks(racks).Metric(), Alpha: 30}
+	ct, err := trace.Uniform(racks, requests, 3).Compile(model.Metric.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := newGoldenAlg(t, "rbma", racks, shards, 4, model)
+	src := ct.Source()
+	cps := Checkpoints(requests, 10)
+	chunk := trace.NewChunk(4096)
+	var res RunResult
+	run := func() {
+		sh.Reset()
+		if err := runSourceParallelInto(context.Background(), &res, sh, src, model.Alpha, cps, chunk, shards); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool, the batch free list and the result buffers
+	allocs := testing.AllocsPerRun(20, run)
+	// The bound is loose against scheduler noise (goroutine starts) but
+	// far below the ~60-per-shard regime the pool replaced.
+	if allocs > 48 {
+		t.Errorf("parallel replay allocates %.1f times per run at shards=%d, want <= 48", allocs, shards)
+	}
+}

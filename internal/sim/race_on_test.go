@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled gates allocation-count guards: race instrumentation
+// allocates per goroutine and per synchronization op, so absolute
+// alloc bounds only hold in uninstrumented builds.
+const raceEnabled = true

@@ -218,6 +218,25 @@ func algBuilder(name string) (func(spec ScenarioSpec, model core.CostModel) AlgS
 	return b, nil
 }
 
+// BuildAlgorithm instantiates one named algorithm from the registry for
+// this spec's cost model, degree cap b and repetition seed — exactly the
+// instance a grid job for (spec, name, b, rep) would replay with, shard
+// planes and per-plane seeding included. Algorithms with a pinned degree
+// (oblivious) ignore b. The live engine builds its per-session instances
+// through this path, so an engine session and an offline grid job with
+// the same parameters are seeded identically.
+func (s ScenarioSpec) BuildAlgorithm(name string, b int, rep uint64) (core.Algorithm, error) {
+	s = s.withDefaults()
+	as, err := s.algSpec(name, s.Model())
+	if err != nil {
+		return nil, err
+	}
+	if as.FixedB >= 0 {
+		b = as.FixedB
+	}
+	return as.New(b, rep)
+}
+
 // algSpec resolves an algorithm name into an AlgSpec for the scenario,
 // reusing a model the caller has already built.
 func (s ScenarioSpec) algSpec(name string, model core.CostModel) (AlgSpec, error) {

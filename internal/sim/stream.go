@@ -41,8 +41,7 @@ func runSourceInto(ctx context.Context, res *RunResult, alg core.Algorithm, src 
 	}
 	src.Reset()
 	res.reset(alg.Name())
-	m := newCostMeter(res, checkpoints, alpha)
-	cs, compiled := alg.(core.CompiledServer)
+	m := newCostMeter(res, checkpoints, alg, alpha)
 	i := 0
 	// Elapsed covers the decision loops only — generation and chunk
 	// compilation inside src.Next are excluded, so the measurement matches
@@ -63,22 +62,12 @@ func runSourceInto(ctx context.Context, res *RunResult, alg core.Algorithm, src 
 			return err
 		}
 		start := time.Now()
-		if compiled {
-			for _, req := range chunk.Reqs[:n] {
-				m.step(cs.ServeCompiled(req))
-				if i+1 == m.nextCP {
-					m.checkpoint(i)
-				}
-				i++
+		for _, req := range chunk.Reqs[:n] {
+			m.inc.Feed(req)
+			if i+1 == m.nextCP {
+				m.checkpoint(i)
 			}
-		} else {
-			for _, req := range chunk.Reqs[:n] {
-				m.step(alg.Serve(int(req.U), int(req.V)))
-				if i+1 == m.nextCP {
-					m.checkpoint(i)
-				}
-				i++
-			}
+			i++
 		}
 		elapsed += time.Since(start)
 	}

@@ -22,15 +22,24 @@
 # ratio is ~1x on a single-core box and approaches the shard count on a
 # machine with that many cores. The gate itself never fails on scaling —
 # only on per-benchmark ns/op regressions like every other entry.
+#
+# Throughput metrics gate too: every benchmark reporting an mreq_per_s
+# custom metric (BenchmarkEngineIngest, the ReplayParallel suite)
+# contributes a "name@mreq_per_s" entry whose value is the *inverse*
+# throughput, so a throughput drop is a ratio increase and flows through
+# the same median-normalized limit as ns/op. An engine ingest rate
+# regression therefore fails CI exactly like a decision-loop slowdown.
 set -eu
 
 BASE="${1:?usage: bench_compare.sh baseline.json new.json [tolerance_pct]}"
 NEW="${2:?usage: bench_compare.sh baseline.json new.json [tolerance_pct]}"
 TOL="${3:-25}"
 
-# Extract "name ns_per_op" pairs. Accepts both the flat array bench.sh
-# emits and the annotated BENCH_baseline.json object (whose current numbers
-# live under the "baseline" key).
+# Extract "name value" pairs: ns_per_op under the benchmark name, plus an
+# inverse-throughput entry per mreq_per_s metric (bigger = worse for both,
+# so one gate covers latency and throughput). Accepts both the flat array
+# bench.sh emits and the annotated BENCH_baseline.json object (whose
+# current numbers live under the "baseline" key).
 extract() {
     python3 -c '
 import json, sys
@@ -41,6 +50,9 @@ if isinstance(d, dict):
 for b in d:
     if b.get("ns_per_op"):
         print(b["name"], b["ns_per_op"])
+    mreq = (b.get("metrics") or {}).get("mreq_per_s")
+    if mreq:
+        print(b["name"] + "@mreq_per_s", 1.0 / mreq)
 ' "$1"
 }
 

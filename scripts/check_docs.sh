@@ -12,12 +12,13 @@
 #   - bench suites      (CI runs the benchmark-regression job directly)
 #   - `-figure all`     (the full-scale figure regeneration, minutes long)
 #   - distributed smoke (CI runs scripts/smoke_distributed.sh directly)
+#   - engine smoke      (CI runs scripts/smoke_engine.sh directly)
 #
 # Usage: scripts/check_docs.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SKIP_RE='go test|bench|-figure all|smoke_distributed'
+SKIP_RE='go test|bench|-figure all|smoke_distributed|smoke_engine'
 DOCS=(README.md docs/OPERATIONS.md)
 
 tmp=$(mktemp -d)

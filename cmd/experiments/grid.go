@@ -39,6 +39,7 @@ func gridMain(args []string) {
 		shardSpec = fs.String("shard", "", "own only slice i of n disjoint job slices, as \"i/n\" (requires -store)")
 		curvePts  = fs.Int("curve-points", 10, "cost-curve checkpoints recorded per job in the store (0 = final costs only)")
 		parallel  = fs.Int("parallel", 1, "replay goroutines per job for multi-plane scenarios (shards > 1); results are identical for every value")
+		ckEvery   = fs.Int("checkpoint-every", 0, "with -store: checkpoint in-flight jobs every N requests so -resume restarts inside them (0 = off)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU pprof profile of the grid run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap pprof profile (taken after the run) to this file")
 	)
@@ -93,7 +94,7 @@ func gridMain(args []string) {
 	}
 	defer stopProfiles()
 
-	opt := sim.GridOptions{Workers: *workers, ChunkSize: *chunk, Parallel: *parallel}
+	opt := sim.GridOptions{Workers: *workers, ChunkSize: *chunk, Parallel: *parallel, CheckpointEvery: *ckEvery}
 	if *progress {
 		opt.Progress = func(done, total int, job sim.GridJob, err error) {
 			status := "ok"
@@ -125,6 +126,9 @@ func gridMain(args []string) {
 	} else {
 		if !shard.IsFull() {
 			fatal(fmt.Errorf("grid: -shard requires -store (shard slices only make sense when merged from their logs)"))
+		}
+		if *ckEvery > 0 {
+			fatal(fmt.Errorf("grid: -checkpoint-every requires -store (checkpoints live in the store's checkpoints/ directory)"))
 		}
 		opt.CurvePoints = 0
 	}

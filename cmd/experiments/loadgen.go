@@ -43,13 +43,19 @@ func loadgenMain(args []string) {
 		conns    = fs.Int("conns", 1, "concurrent connections, each with its own session + stream")
 		verify   = fs.Bool("verify", false, "after draining, replay offline and require bit-identical costs")
 		keep     = fs.Bool("keep", false, "leave the sessions live instead of deleting them")
+		resume   = fs.Bool("resume", false, "attach to existing sessions and stream only the tail past their served count (helloOK); -requests stays the full stream length")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: experiments loadgen [flags]\n\n"+
 			"Drives an `experiments engine` ingest port with generated workload\n"+
 			"streams and reports throughput; -verify additionally replays the same\n"+
 			"streams offline (sim.RunSource) and requires the engine's cumulative\n"+
-			"costs to match bit for bit.\n\n")
+			"costs to match bit for bit.\n\n"+
+			"-resume re-attaches to sessions that already served a prefix of the\n"+
+			"same seeded stream (a reconnect, or a session restored from a\n"+
+			"snapshot): each connection skips the served count reported in helloOK\n"+
+			"and streams the remaining tail, so -resume -verify proves a restored\n"+
+			"session continues bit-identically to an uninterrupted run.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +64,7 @@ func loadgenMain(args []string) {
 
 	type connResult struct {
 		id       string
+		skipped  int
 		streamed int
 		elapsed  time.Duration
 		final    engine.BatchResult
@@ -72,7 +79,7 @@ func loadgenMain(args []string) {
 		}
 		return fmt.Sprintf("%s-%d", *session, i)
 	}
-	if *control != "" {
+	if *control != "" && !*resume {
 		for i := 0; i < *conns; i++ {
 			cfg := engine.SessionConfig{
 				ID: sessionID(i), Racks: *racks, B: *b,
@@ -129,13 +136,32 @@ func loadgenMain(args []string) {
 				r.err = err
 				return
 			}
-			c, _, err := engine.DialIngest(*ingest, r.id, *window)
+			c, hello, err := engine.DialIngest(*ingest, r.id, *window)
 			if err != nil {
 				r.err = err
 				return
 			}
 			defer c.Close()
 			buf := make([]trace.Request, *batch)
+			if *resume {
+				// The session already served a prefix of this same seeded
+				// stream; drain that many requests from the front without
+				// sending them, then stream the tail.
+				skip := int(hello.Served)
+				if skip > *requests {
+					r.err = fmt.Errorf("loadgen: session already served %d requests, -requests is only %d", skip, *requests)
+					return
+				}
+				for rem := skip; rem > 0; {
+					n := st.Next(buf[:min(len(buf), rem)])
+					if n == 0 {
+						r.err = fmt.Errorf("loadgen: stream ended while skipping %d served requests", skip)
+						return
+					}
+					rem -= n
+				}
+				r.skipped = skip
+			}
 			t0 := time.Now()
 			for {
 				n := st.Next(buf)
@@ -154,6 +180,33 @@ func loadgenMain(args []string) {
 				return
 			}
 			r.elapsed = time.Since(t0)
+			if final == nil {
+				// A resumed session that had already served the full
+				// stream: nothing went over the wire, so read the
+				// cumulative counters off the control plane.
+				if *control == "" {
+					r.err = fmt.Errorf("loadgen: session already served all %d requests and no -control to read its counters from", *requests)
+					return
+				}
+				resp, err := http.Get(*control + "/api/v1/sessions/" + r.id)
+				if err != nil {
+					r.err = err
+					return
+				}
+				var status engine.SessionStatus
+				err = json.NewDecoder(resp.Body).Decode(&status)
+				resp.Body.Close()
+				if err != nil {
+					r.err = err
+					return
+				}
+				r.final = engine.BatchResult{
+					Served:   uint64(status.Served),
+					Routing:  status.Routing,
+					Reconfig: status.Reconfig,
+				}
+				return
+			}
 			r.final = *final
 		}(i)
 	}
@@ -166,8 +219,9 @@ func loadgenMain(args []string) {
 		if r.err != nil {
 			fatal(fmt.Errorf("loadgen: conn %s: %w", r.id, r.err))
 		}
-		if int(r.final.Served) != r.streamed {
-			fatal(fmt.Errorf("loadgen: conn %s: engine served %d of %d streamed", r.id, r.final.Served, r.streamed))
+		if int(r.final.Served) != r.skipped+r.streamed {
+			fatal(fmt.Errorf("loadgen: conn %s: engine served %d, expected %d (%d resumed + %d streamed)",
+				r.id, r.final.Served, r.skipped+r.streamed, r.skipped, r.streamed))
 		}
 		total += r.streamed
 		fmt.Printf("loadgen: conn %s: %d reqs in %.2fs = %.3f Mreq/s, routing %.0f, reconfig %.0f, matching %d\n",

@@ -28,6 +28,7 @@ func workerMain(args []string) {
 		gridWorkers = fs.Int("grid-workers", 0, "sim worker pool per shard (0 = GOMAXPROCS)")
 		chunk       = fs.Int("chunk", 0, "streaming chunk size in requests (0 = default)")
 		parallel    = fs.Int("parallel", 1, "replay goroutines per multi-plane job (shards > 1); results are identical for every value")
+		ckEvery     = fs.Int("checkpoint-every", 0, "checkpoint in-flight grid jobs every N requests so a restarted worker resumes inside them (0 = off)")
 		poll        = fs.Duration("poll", 2*time.Second, "idle wait between lease attempts when nothing is leasable")
 	)
 	fs.Usage = func() {
@@ -40,8 +41,9 @@ func workerMain(args []string) {
 			"is re-leased to another worker; exact-agreement checks on the\n"+
 			"coordinator make duplicate executions safe, so the merged summary is\n"+
 			"byte-identical to a single-process run. On SIGINT/SIGTERM the worker\n"+
-			"aborts in-flight shards at a chunk boundary and keeps their local\n"+
-			"stores, so restarting it resumes its own partial work.\n\n")
+			"aborts in-flight shards at a chunk boundary, uploads their partial\n"+
+			"logs so the coordinator requeues the shards immediately, and keeps\n"+
+			"the local stores so restarting it resumes its own partial work.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -53,14 +55,15 @@ func workerMain(args []string) {
 	}
 
 	r, err := work.New(work.Options{
-		Coordinator: *coordinator,
-		Name:        *name,
-		Capacity:    *capacity,
-		Dir:         *workdir,
-		GridWorkers: *gridWorkers,
-		ChunkSize:   *chunk,
-		Parallel:    *parallel,
-		Poll:        *poll,
+		Coordinator:     *coordinator,
+		Name:            *name,
+		Capacity:        *capacity,
+		Dir:             *workdir,
+		GridWorkers:     *gridWorkers,
+		ChunkSize:       *chunk,
+		Parallel:        *parallel,
+		CheckpointEvery: *ckEvery,
+		Poll:            *poll,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

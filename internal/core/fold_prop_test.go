@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestFoldShardStepsPermutationInvariant is the property behind every
+// deterministic merge in the tree — the parallel replay, the coordinator's
+// log absorption, the engine's sharded sessions: when per-shard costs are
+// integer-valued (true whenever α is an integer, as in every preset), the
+// fold is exact, so ANY ordering of the per-shard accumulators produces
+// the same bits. Random shard states, random permutations, bit-compared
+// against the canonical ascending fold.
+func TestFoldShardStepsPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(16)
+		acc := make([]ShardStep, n)
+		for i := range acc {
+			// Integer-valued costs at realistic magnitudes: routing is a
+			// sum of path lengths, reconfig a sum of α-multiples.
+			acc[i] = ShardStep{
+				Routing:  float64(rng.Int64N(1 << 40)),
+				Reconfig: 30 * float64(rng.Int64N(1<<35)),
+				Adds:     int(rng.Int64N(1 << 20)),
+				Removals: int(rng.Int64N(1 << 20)),
+			}
+		}
+		want := FoldShardSteps(acc)
+		for p := 0; p < 20; p++ {
+			perm := make([]ShardStep, n)
+			for i, j := range rng.Perm(n) {
+				perm[i] = acc[j]
+			}
+			got := FoldShardSteps(perm)
+			if math.Float64bits(got.Routing) != math.Float64bits(want.Routing) ||
+				math.Float64bits(got.Reconfig) != math.Float64bits(want.Reconfig) ||
+				got.Adds != want.Adds || got.Removals != want.Removals {
+				t.Fatalf("trial %d perm %d: fold (%v, %v, %d, %d) != canonical (%v, %v, %d, %d)",
+					trial, p, got.Routing, got.Reconfig, got.Adds, got.Removals,
+					want.Routing, want.Reconfig, want.Adds, want.Removals)
+			}
+		}
+	}
+}
+
+// TestFoldShardStepsMatchesSequential pins the stronger half of the
+// contract: folding per-shard partial sums equals accumulating every step
+// in trace order, exactly — the reason a sharded replay's totals are
+// byte-identical to the sequential replay's.
+func TestFoldShardStepsMatchesSequential(t *testing.T) {
+	const alpha = 30.0
+	rng := rand.New(rand.NewPCG(3, 1))
+	for trial := 0; trial < 100; trial++ {
+		shards := 1 + rng.IntN(8)
+		steps := 1 + rng.IntN(2000)
+		var seq ShardStep
+		acc := make([]ShardStep, shards)
+		for i := 0; i < steps; i++ {
+			st := Step{RoutingCost: float64(rng.Int64N(64))}
+			if rng.IntN(4) == 0 {
+				st.Adds = 1
+				st.Removals = rng.IntN(2)
+			}
+			seq.Add(st, alpha)
+			acc[rng.IntN(shards)].Add(st, alpha)
+		}
+		got := FoldShardSteps(acc)
+		if math.Float64bits(got.Routing) != math.Float64bits(seq.Routing) ||
+			math.Float64bits(got.Reconfig) != math.Float64bits(seq.Reconfig) ||
+			got.Adds != seq.Adds || got.Removals != seq.Removals {
+			t.Fatalf("trial %d: fold (%v, %v) != sequential (%v, %v)",
+				trial, got.Routing, got.Reconfig, seq.Routing, seq.Reconfig)
+		}
+	}
+}

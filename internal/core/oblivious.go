@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"obm/internal/matching"
 	"obm/internal/trace"
@@ -85,6 +86,17 @@ func NewStaticFromTrace(tr *trace.Trace, b int, model CostModel) (*Static, error
 			edges = append(edges, matching.WeightedEdge{U: u, V: v, W: benefit})
 		}
 	}
+	// counts is a map, so the edge list arrives in randomized order — and
+	// IteratedMWM's tie-breaking is order-sensitive. Sort canonically so
+	// the same trace always yields the same matching: SO-BMA construction
+	// is part of the determinism contract (two runs of one figure, or a
+	// snapshot-restored instance and its original, must agree exactly).
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
 	chosen := matching.IteratedMWM(tr.NumRacks, edges, b)
 	idx := trace.SharedPairIndex(tr.NumRacks)
 	s := &Static{

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"obm/internal/trace"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the ingest framing layer: a
+// hostile or corrupt peer must always produce a clean error (or a valid
+// frame), never a panic or an attacker-sized allocation. The read buffer
+// is checked against maxFramePayload after every call — the length prefix
+// is attacker-controlled and must never balloon the reused buffer.
+func FuzzReadFrame(f *testing.F) {
+	hello, err := appendHello(nil, "live")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hello)
+	batch, err := appendBatch(nil, []trace.Request{{Src: 0, Dst: 1}, {Src: 3, Dst: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch)
+	f.Add(append(append([]byte{}, hello...), batch...))
+	// Declared length far beyond the actual bytes.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x02, 0x00})
+	// Zero-length payload.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for {
+			typ, payload, err := readFrame(br, &buf)
+			if cap(buf) > maxFramePayload {
+				t.Fatalf("read buffer grew to %d, cap is %d", cap(buf), maxFramePayload)
+			}
+			if err != nil {
+				return
+			}
+			if len(payload) > maxFramePayload {
+				t.Fatalf("readFrame returned %d-byte payload", len(payload))
+			}
+			// Exercise the payload decoders the client runs on engine
+			// frames; they must be equally panic-free.
+			switch typ {
+			case frameHelloOK:
+				decodeHelloOK(payload)
+			case frameResult:
+				var res BatchResult
+				decodeResult(payload, &res)
+			case frameError:
+				decodeError(payload)
+			}
+		}
+	})
+}

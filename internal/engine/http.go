@@ -15,6 +15,9 @@ import (
 //	GET    /api/v1/sessions/{id}          one session's status
 //	DELETE /api/v1/sessions/{id}          drop a session
 //	POST   /api/v1/sessions/{id}/serve    serve one request ({"u": 3, "v": 7})
+//	POST   /api/v1/sessions/{id}/snapshot serialize the session (octet-stream)
+//	POST   /api/v1/sessions/restore       recreate a session from a snapshot
+//	                                      body (?id= renames it)
 //	/debug/pprof/...                      runtime profiles (CPU, heap, mutex)
 //
 // The serve route is the single-request operability path — correct but
@@ -31,6 +34,8 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{id}", e.withSession(e.handleStatus))
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}", e.handleDelete)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/serve", e.withSession(e.handleServe))
+	mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", e.withSession(e.handleSnapshot))
+	mux.HandleFunc("POST /api/v1/sessions/restore", e.handleRestore)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -102,6 +107,30 @@ func (e *Engine) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleSnapshot streams the session's snapshot blob. The body is written
+// after the 200 header, so a mid-stream snapshot failure surfaces as a
+// truncated body — which the blob's CRC trailer makes detectable on the
+// receiving side.
+func (e *Engine) handleSnapshot(w http.ResponseWriter, r *http.Request, s *Session) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.Snapshot(w); err != nil {
+		// Headers are already out; all we can do is log and cut the body
+		// short. The client's CRC check catches the truncation.
+		e.logf("engine: snapshotting session %q: %v", s.ID(), err)
+	}
+}
+
+// handleRestore recreates a session from a snapshot blob in the request
+// body; ?id= renames the restored session.
+func (e *Engine) handleRestore(w http.ResponseWriter, r *http.Request) {
+	s, err := e.RestoreSession(r.Body, r.URL.Query().Get("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
 }
 
 // serveRequest is the JSON body of the single-request serve path.

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"obm/internal/snap"
+)
+
+// Session snapshots: the "OBME" blob is a self-contained session — the
+// defaults-filled SessionConfig as JSON followed by the sim.Incremental
+// "OBMI" state blob, under one CRC-32 trailer — so an operator can
+// serialize a live session, move it to another engine (or survive a
+// restart) and recreate it with identical counters and algorithm state.
+// Re-attached clients see the restored served count in helloOK and stream
+// the tail; by the snapshot equivalence contract the session's cost stream
+// continues bit-identically. The latency histogram and batch count are
+// observability, not matching state, and start fresh after a restore.
+
+// sessionMagic and sessionSnapVersion identify the session blob format.
+var sessionMagic = []byte("OBME")
+
+const sessionSnapVersion = 1
+
+// maxSnapshotConfig bounds the embedded config JSON — the one
+// length-prefixed field a decoder must size before validation.
+const maxSnapshotConfig = 1 << 16
+
+// Snapshot serializes the session: config, cumulative counters and full
+// algorithm state. It holds the session lock, so a snapshot taken between
+// batches of a live binary stream is a consistent cut — every batch is
+// either fully inside it or fully after it.
+func (s *Session) Snapshot(w io.Writer) error {
+	cfgJSON, err := json.Marshal(s.cfg)
+	if err != nil {
+		return fmt.Errorf("engine: encoding session config: %w", err)
+	}
+	if len(cfgJSON) > maxSnapshotConfig {
+		return fmt.Errorf("engine: session config JSON is %d bytes, limit %d", len(cfgJSON), maxSnapshotConfig)
+	}
+	sw := snap.NewWriter(w)
+	sw.Bytes(sessionMagic)
+	sw.U8(sessionSnapVersion)
+	sw.U32(uint32(len(cfgJSON)))
+	sw.Bytes(cfgJSON)
+	if sw.Err() != nil {
+		return sw.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.inc.Snapshot(sw); err != nil {
+		return err
+	}
+	sw.WriteCRC()
+	return sw.Err()
+}
+
+// RestoreSession rebuilds a session from a Snapshot blob and registers it,
+// subject to the same limit and duplicate checks as CreateSession. A
+// non-empty idOverride renames the restored session (restoring a snapshot
+// next to its still-live original). The blob is fully decoded, validated
+// and CRC-checked before the registry is touched, so a corrupt snapshot
+// never leaves a half-restored session behind.
+func (e *Engine) RestoreSession(r io.Reader, idOverride string) (*Session, error) {
+	sr := snap.NewReader(r)
+	sr.Expect(sessionMagic)
+	if v := sr.U8(); sr.Err() == nil && v != sessionSnapVersion {
+		return nil, snap.Corruptf("engine: session snapshot version %d, this build reads %d", v, sessionSnapVersion)
+	}
+	n := sr.U32()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	if n == 0 || n > maxSnapshotConfig {
+		return nil, snap.Corruptf("engine: session snapshot config length %d outside (0,%d]", n, maxSnapshotConfig)
+	}
+	cfgJSON := make([]byte, n)
+	sr.Bytes(cfgJSON)
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	var cfg SessionConfig
+	dec := json.NewDecoder(bytes.NewReader(cfgJSON))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, snap.Corruptf("engine: session snapshot config: %v", err)
+	}
+	if idOverride != "" {
+		cfg.ID = idOverride
+	}
+	if cfg.ID == "" {
+		return nil, snap.Corruptf("engine: session snapshot carries no id (pass one explicitly)")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s, err := newSession(cfg.ID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.inc.Restore(sr); err != nil {
+		return nil, err
+	}
+	sr.VerifyCRC()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if len(e.sessions) >= e.opts.MaxSessions {
+		return nil, fmt.Errorf("engine: session limit %d reached", e.opts.MaxSessions)
+	}
+	if _, ok := e.sessions[cfg.ID]; ok {
+		return nil, fmt.Errorf("engine: session %q already exists", cfg.ID)
+	}
+	e.sessions[cfg.ID] = s
+	e.logf("engine: session %q restored from snapshot (racks=%d b=%d alg=%s served=%d)",
+		cfg.ID, cfg.Racks, cfg.B, cfg.Alg, s.hello().Served)
+	return s, nil
+}

@@ -1,0 +1,86 @@
+package paging
+
+import (
+	"io"
+
+	"obm/internal/snap"
+)
+
+// Snapshot writes the bank's full state — per-cache slot prefixes, mark
+// counts and RNG states; the position tables are derivable — as a section
+// of an enclosing snapshot stream. Slot order is preserved exactly:
+// eviction choices are positional, so a restored bank continues the very
+// same randomized run.
+func (b *MarkingBank) Snapshot(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	sw.U32(uint32(b.n))
+	sw.U32(uint32(b.k))
+	sw.U32(uint32(b.universe))
+	for c := 0; c < b.n; c++ {
+		sw.U32(uint32(b.lens[c]))
+		sw.U32(uint32(b.nMarked[c]))
+		sw.I32s(b.slots[c*b.k : c*b.k+int(b.lens[c])])
+		s := b.rngs[c].State()
+		sw.U64s(s[:])
+	}
+	return sw.Err()
+}
+
+// Restore loads state written by Snapshot into this bank, which must have
+// the same dimensions (n, k, universe). Lengths, mark counts and slot
+// items are bounds-checked, slot distinctness is enforced while the
+// position tables are rebuilt, and RNG states are rejected if degenerate —
+// a corrupt stream errors out, it never panics or mis-sizes anything. On
+// error the bank is left in an unspecified state and must be Reset before
+// reuse.
+func (b *MarkingBank) Restore(r io.Reader) error {
+	sr := snap.NewReader(r)
+	if n := sr.U32(); sr.Err() == nil && int(n) != b.n {
+		return snap.Corruptf("paging: bank snapshot for n=%d, have n=%d", n, b.n)
+	}
+	if k := sr.U32(); sr.Err() == nil && int(k) != b.k {
+		return snap.Corruptf("paging: bank snapshot for k=%d, have k=%d", k, b.k)
+	}
+	if u := sr.U32(); sr.Err() == nil && int(u) != b.universe {
+		return snap.Corruptf("paging: bank snapshot for universe=%d, have %d", u, b.universe)
+	}
+	for i := range b.pos {
+		b.pos[i] = -1
+	}
+	for c := 0; c < b.n; c++ {
+		ln := int32(sr.U32())
+		nm := int32(sr.U32())
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		if ln < 0 || int(ln) > b.k || nm < 0 || nm > ln {
+			return snap.Corruptf("paging: cache %d has len=%d marked=%d (cap %d)", c, ln, nm, b.k)
+		}
+		b.lens[c] = ln
+		b.nMarked[c] = nm
+		slots := b.slots[c*b.k : c*b.k+int(ln)]
+		sr.I32s(slots)
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		pos := b.pos[c*b.universe : (c+1)*b.universe]
+		for i, item := range slots {
+			if item < 0 || int(item) >= b.universe {
+				return snap.Corruptf("paging: cache %d slot %d holds item %d outside [0,%d)", c, i, item, b.universe)
+			}
+			if pos[item] >= 0 {
+				return snap.Corruptf("paging: cache %d holds item %d twice", c, item)
+			}
+			pos[item] = int32(i)
+		}
+		var s [4]uint64
+		sr.U64s(s[:])
+		if sr.Err() != nil {
+			return sr.Err()
+		}
+		if err := b.rngs[c].SetState(s); err != nil {
+			return snap.Corruptf("paging: cache %d RNG: %v", c, err)
+		}
+	}
+	return sr.Err()
+}

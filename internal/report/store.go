@@ -335,15 +335,21 @@ func (s *Store) Missing() ([]sim.GridJob, error) {
 }
 
 // GridOptions wires the store into grid options: Lookup resumes from the
-// log, Persist appends to it, and the manifest's shard layout and curve
+// log, Persist appends to it, the checkpoint hooks read and write
+// <dir>/checkpoints/, and the manifest's shard layout and curve
 // checkpointing are applied. The remaining knobs (workers, chunk size,
-// progress) are taken from base.
+// checkpoint interval, progress) are taken from base — mid-job
+// checkpoints are only written when base.CheckpointEvery > 0, but a
+// leftover checkpoint is always consulted and always cleaned up.
 func (s *Store) GridOptions(base sim.GridOptions) sim.GridOptions {
 	base.CurvePoints = s.manifest.CurvePoints
 	base.Shard = s.manifest.Shard.Index
 	base.Shards = s.manifest.Shard.Count
 	base.Lookup = s.Lookup
 	base.Persist = s.Append
+	base.SaveCheckpoint = s.SaveCheckpoint
+	base.LoadCheckpoint = s.LoadCheckpoint
+	base.DropCheckpoint = s.DropCheckpoint
 	return base
 }
 

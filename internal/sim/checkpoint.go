@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"obm/internal/core"
+	"obm/internal/snap"
+	"obm/internal/trace"
+)
+
+// Mid-job replay checkpoints: the "OBMC" blob freezes one grid job part-way
+// through its replay — stream position, the partial cost curve, accumulated
+// decision-loop time, and an embedded "OBMI" algorithm snapshot — so a
+// killed run resumes *inside* a long job instead of replaying it from
+// request zero. Resume fast-forwards the job's own deterministic source to
+// the frozen position and continues; by the snapshot equivalence contract
+// the finished outcome is bit-identical to an uninterrupted replay, which
+// is why a checkpoint can never become part of job identity: it is purely
+// an optimization, and any load failure falls back to a fresh replay.
+
+// ckMagic and ckVersion identify the replay-checkpoint blob format.
+var ckMagic = []byte("OBMC")
+
+const ckVersion = 1
+
+// ckHooks is a job-bound view of the GridOptions checkpoint hooks.
+type ckHooks struct {
+	every int
+	save  func([]byte) error
+	load  func() ([]byte, bool)
+	drop  func()
+}
+
+// enabled reports whether the checkpointed replay path is worth taking at
+// all (something to save, or something to resume from).
+func (ck *ckHooks) enabled() bool {
+	return (ck.every > 0 && ck.save != nil) || ck.load != nil
+}
+
+// saveReplayCheckpoint serializes the meter's mid-replay state at stream
+// position pos. An error means the algorithm refused to snapshot (e.g. an
+// ablation variant with a substituted cache) — never an I/O failure, since
+// the sink is an in-memory buffer.
+func saveReplayCheckpoint(m *costMeter, pos int, elapsed time.Duration) ([]byte, error) {
+	var buf bytes.Buffer
+	sw := snap.NewWriter(&buf)
+	sw.Bytes(ckMagic)
+	sw.U8(ckVersion)
+	sw.I64(int64(pos))
+	sw.U32(uint32(len(m.res.Series.X)))
+	for i, x := range m.res.Series.X {
+		sw.I64(int64(x))
+		sw.F64(m.res.Series.Routing[i])
+		sw.F64(m.res.Series.Reconfig[i])
+	}
+	sw.I64(int64(elapsed))
+	if sw.Err() != nil {
+		return nil, sw.Err()
+	}
+	if err := m.inc.Snapshot(sw); err != nil {
+		return nil, err
+	}
+	sw.WriteCRC()
+	if sw.Err() != nil {
+		return nil, sw.Err()
+	}
+	return buf.Bytes(), nil
+}
+
+// loadReplayCheckpoint restores a blob written by saveReplayCheckpoint into
+// a freshly initialized meter, returning the stream position to resume from
+// and the elapsed time accumulated before the checkpoint. The stored curve
+// prefix must agree exactly with the meter's checkpoint schedule — a blob
+// from a run with different curve points is rejected, not reinterpreted.
+// On error the meter and its algorithm are in an unspecified state; the
+// caller falls back to a fresh replay.
+func loadReplayCheckpoint(blob []byte, m *costMeter, total int) (int, time.Duration, error) {
+	sr := snap.NewReader(bytes.NewReader(blob))
+	sr.Expect(ckMagic)
+	if v := sr.U8(); sr.Err() == nil && v != ckVersion {
+		return 0, 0, snap.Corruptf("sim: checkpoint version %d, this build reads %d", v, ckVersion)
+	}
+	pos64 := sr.I64()
+	npoints := sr.U32()
+	if sr.Err() != nil {
+		return 0, 0, sr.Err()
+	}
+	pos := int(pos64)
+	if pos64 < 0 || pos > total {
+		return 0, 0, snap.Corruptf("sim: checkpoint position %d outside [0,%d]", pos64, total)
+	}
+	if int(npoints) > len(m.checkpoints) {
+		return 0, 0, snap.Corruptf("sim: checkpoint has %d curve points, schedule has %d", npoints, len(m.checkpoints))
+	}
+	for i := 0; i < int(npoints); i++ {
+		x := sr.I64()
+		routing := sr.F64()
+		reconfig := sr.F64()
+		if sr.Err() != nil {
+			return 0, 0, sr.Err()
+		}
+		if int(x) != m.checkpoints[i] || int(x) > pos {
+			return 0, 0, snap.Corruptf("sim: checkpoint curve point %d at x=%d does not match schedule point %d", i, x, m.checkpoints[i])
+		}
+		m.res.Series.X = append(m.res.Series.X, int(x))
+		m.res.Series.Routing = append(m.res.Series.Routing, routing)
+		m.res.Series.Reconfig = append(m.res.Series.Reconfig, reconfig)
+	}
+	if int(npoints) < len(m.checkpoints) && m.checkpoints[npoints] <= pos {
+		return 0, 0, snap.Corruptf("sim: checkpoint at %d is missing curve point %d", pos, m.checkpoints[npoints])
+	}
+	elapsed := sr.I64()
+	if sr.Err() == nil && elapsed < 0 {
+		return 0, 0, snap.Corruptf("sim: negative checkpoint elapsed time %d", elapsed)
+	}
+	if err := m.inc.Restore(sr); err != nil {
+		return 0, 0, err
+	}
+	sr.VerifyCRC()
+	if sr.Err() != nil {
+		return 0, 0, sr.Err()
+	}
+	if got := m.inc.Counters().Served; got != int64(pos) {
+		return 0, 0, snap.Corruptf("sim: checkpoint at position %d embeds a snapshot of %d served requests", pos, got)
+	}
+	m.ci = int(npoints)
+	m.nextCP = -1
+	if m.ci < len(m.checkpoints) {
+		m.nextCP = m.checkpoints[m.ci]
+	}
+	return pos, time.Duration(elapsed), nil
+}
+
+// runSourceCheckpointed is runSourceInto with mid-replay checkpointing: it
+// resumes from ck.load's blob when one exists and is valid (anything else
+// silently degrades to a fresh replay), saves a new checkpoint through
+// ck.save at the first chunk boundary after every ck.every fed requests,
+// and drops the checkpoint once the replay completes. Cost curves are
+// bit-identical to runSourceInto in every case — resumed, checkpointed or
+// both — because the algorithm snapshot round-trip is exact and the source
+// is deterministic under Reset.
+func runSourceCheckpointed(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk, ck ckHooks) error {
+	if err := validateCheckpoints(checkpoints, src.Len()); err != nil {
+		return err
+	}
+	src.Reset()
+	res.reset(alg.Name())
+	m := newCostMeter(res, checkpoints, alg, alpha)
+	start := 0
+	var elapsed time.Duration
+	if ck.load != nil {
+		if blob, ok := ck.load(); ok {
+			pos, el, err := loadReplayCheckpoint(blob, &m, src.Len())
+			if err != nil {
+				// A checkpoint is an optimization: a corrupt, truncated or
+				// mismatched blob means a fresh replay, not a failed job.
+				// The load may have partially mutated the algorithm and the
+				// series buffers, so rebuild both from scratch.
+				alg.Reset()
+				res.reset(alg.Name())
+				m = newCostMeter(res, checkpoints, alg, alpha)
+			} else {
+				start, elapsed = pos, el
+			}
+		}
+	}
+	saving := ck.every > 0 && ck.save != nil
+	fed := 0
+	i := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := src.Next(chunk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		// Fast-forward: chunks entirely inside the resumed prefix are
+		// drained without feeding; a chunk straddling the boundary feeds
+		// only its suffix.
+		if i+n <= start {
+			i += n
+			continue
+		}
+		skip := 0
+		if i < start {
+			skip = start - i
+		}
+		t0 := time.Now()
+		for j, req := range chunk.Reqs[skip:n] {
+			m.inc.Feed(req)
+			if gi := i + skip + j; gi+1 == m.nextCP {
+				m.checkpoint(gi)
+			}
+		}
+		elapsed += time.Since(t0)
+		fed += n - skip
+		i += n
+		if saving && fed >= ck.every {
+			blob, serr := saveReplayCheckpoint(&m, i, elapsed)
+			if serr != nil {
+				// The algorithm cannot snapshot (ablation variants): run the
+				// job to completion without checkpoints rather than failing
+				// a perfectly computable outcome.
+				saving = false
+			} else if err := ck.save(blob); err != nil {
+				return fmt.Errorf("sim: saving checkpoint at %d requests: %w", i, err)
+			}
+			fed = 0
+		}
+	}
+	res.Elapsed = elapsed
+	if i != src.Len() {
+		return fmt.Errorf("sim: source %q produced %d requests, declared %d", src.Name(), i, src.Len())
+	}
+	m.finish()
+	res.FinalMatchingSize = alg.MatchingSize()
+	if ck.drop != nil {
+		ck.drop()
+	}
+	return nil
+}

@@ -99,6 +99,24 @@ type GridOptions struct {
 	// completion count (jobs resolved via Lookup are not reported).
 	// Callbacks are serialized; err is the job's error (nil on success).
 	Progress func(done, total int, job GridJob, err error)
+	// CheckpointEvery, when > 0 with SaveCheckpoint set, snapshots each
+	// in-flight job's algorithm state plus partial curve roughly every
+	// that many requests (at chunk boundaries, sequential replay only;
+	// the parallel path replays whole jobs or not at all). A killed run
+	// resumed through LoadCheckpoint then restarts *inside* a job rather
+	// than at its start. Checkpoints are an optimization, never part of
+	// job identity: a missing, stale or corrupt checkpoint just means a
+	// fresh replay, and determinism makes the outcome identical.
+	CheckpointEvery int
+	// SaveCheckpoint persists one job's mid-flight checkpoint blob,
+	// replacing any previous one. Errors abort the grid like a Persist
+	// failure (a broken checkpoint store is a broken store).
+	SaveCheckpoint func(GridJob, []byte) error
+	// LoadCheckpoint returns a job's previously saved checkpoint blob, if
+	// any, consulted once before the job replays from scratch.
+	LoadCheckpoint func(GridJob) ([]byte, bool)
+	// DropCheckpoint discards a job's checkpoint once the job completes.
+	DropCheckpoint func(GridJob)
 }
 
 // GridRow is one aggregated cell: the final costs of one (scenario,
@@ -336,7 +354,7 @@ func RunGridContext(ctx context.Context, specs []ScenarioSpec, opt GridOptions) 
 		var res RunResult
 		return func(ji int) error {
 			j := &run[ji]
-			err := runGridJob(ctx, j.spec, j.model, j.alg, j.GridJob, opt.CurvePoints, opt.Parallel, chunk, &res)
+			err := runGridJob(ctx, j.spec, j.model, j.alg, j.GridJob, &opt, chunk, &res)
 			if err != nil {
 				err = fmt.Errorf("sim: grid %s: %w", j.GridJob, err)
 			} else {
@@ -412,8 +430,11 @@ func gridCheckpoints(total, curvePoints int) []int {
 // source (workers never share generator state) against the scenario's
 // pre-built model and records cumulative costs at the job's checkpoints.
 // Multi-plane jobs take the parallel replay path when the grid runs with
-// Parallel > 1; the outcome is identical either way.
-func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, curvePoints, parallel int, chunk *trace.CompiledChunk, res *RunResult) error {
+// Parallel > 1; the outcome is identical either way. Mid-job checkpointing
+// applies only to the sequential path — the parallel path replays whole
+// jobs or not at all, but still drops any stale checkpoint it completes
+// past.
+func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as AlgSpec, j GridJob, opt *GridOptions, chunk *trace.CompiledChunk, res *RunResult) error {
 	st, err := spec.NewStream()
 	if err != nil {
 		return err
@@ -426,11 +447,31 @@ func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as
 	if err != nil {
 		return err
 	}
-	checkpoints := gridCheckpoints(src.Len(), curvePoints)
-	if parallel > 1 {
+	checkpoints := gridCheckpoints(src.Len(), opt.CurvePoints)
+	if opt.Parallel > 1 {
 		if sh, ok := alg.(*core.Sharded); ok && sh.Shards() > 1 {
-			return runSourceParallelInto(ctx, res, sh, src, spec.Alpha, checkpoints, chunk, parallel)
+			if err := runSourceParallelInto(ctx, res, sh, src, spec.Alpha, checkpoints, chunk, opt.Parallel); err != nil {
+				return err
+			}
+			if opt.DropCheckpoint != nil {
+				opt.DropCheckpoint(j)
+			}
+			return nil
 		}
+	}
+	ck := ckHooks{}
+	if opt.CheckpointEvery > 0 && opt.SaveCheckpoint != nil {
+		ck.every = opt.CheckpointEvery
+		ck.save = func(blob []byte) error { return opt.SaveCheckpoint(j, blob) }
+	}
+	if opt.LoadCheckpoint != nil {
+		ck.load = func() ([]byte, bool) { return opt.LoadCheckpoint(j) }
+	}
+	if opt.DropCheckpoint != nil {
+		ck.drop = func() { opt.DropCheckpoint(j) }
+	}
+	if ck.enabled() {
+		return runSourceCheckpointed(ctx, res, alg, src, spec.Alpha, checkpoints, chunk, ck)
 	}
 	return runSourceInto(ctx, res, alg, src, spec.Alpha, checkpoints, chunk)
 }

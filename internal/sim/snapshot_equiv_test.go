@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"obm/internal/core"
+	"obm/internal/trace"
+)
+
+// The snapshot/restore equivalence suite: for every paper trace family ×
+// algorithm × shard count × snapshot point, snapshotting a replay at k
+// requests, restoring into a fresh instance and replaying the tail must
+// reproduce the uninterrupted replay's cost stream bit for bit (see
+// CheckSnapshotEquivalence). This is the contract every checkpoint
+// consumer — grid resume, engine session restore, fleet handoff — relies
+// on.
+
+const (
+	equivRacks    = 32
+	equivRequests = 20000
+	equivB        = 4
+	equivAlpha    = 30.0
+)
+
+// equivSpec parameterizes one equivalence scenario.
+func equivSpec(family string, shards int) ScenarioSpec {
+	return ScenarioSpec{
+		Name: "equiv", Family: family,
+		Racks: equivRacks, Requests: equivRequests, Seed: 11,
+		Alpha: equivAlpha, Bs: []int{equivB}, Algs: []string{"r-bma"},
+		Shards: shards,
+	}
+}
+
+// equivBuilder returns the fresh-instance constructor for one (alg,
+// family, shards) cell. Registry algorithms build through the scenario
+// registry (shard planes and per-plane seeding included, exactly like a
+// grid job or an engine session); the static baseline is built offline
+// from the materialized trace, per plane when sharded.
+func equivBuilder(t *testing.T, alg string, spec ScenarioSpec) func() (core.Algorithm, error) {
+	t.Helper()
+	if alg != "static" {
+		return func() (core.Algorithm, error) {
+			return spec.BuildAlgorithm(alg, equivB, 3)
+		}
+	}
+	st, err := spec.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Collect(st)
+	model := spec.Model()
+	if spec.Shards <= 1 {
+		return func() (core.Algorithm, error) {
+			return core.NewStaticFromTrace(tr, equivB, model)
+		}
+	}
+	return func() (core.Algorithm, error) {
+		part, err := core.NewPartition(spec.Racks, spec.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSharded(part, func(int) (core.Algorithm, error) {
+			return core.NewStaticFromTrace(tr, equivB, model)
+		})
+	}
+}
+
+func TestSnapshotEquivalence(t *testing.T) {
+	families := []string{"uniform", "microsoft", "phase-shift", "permutation"}
+	algs := []string{"r-bma", "bma", "oblivious", "static"}
+	shardCounts := []int{1, 2, 4, 7}
+	snapAts := []int{7321, 16000}
+	if testing.Short() {
+		families = []string{"uniform", "phase-shift"}
+		shardCounts = []int{1, 2}
+		snapAts = []int{7321}
+	}
+	checkpoints := Checkpoints(equivRequests, 8)
+	for _, family := range families {
+		for _, alg := range algs {
+			for _, shards := range shardCounts {
+				for _, snapAt := range snapAts {
+					name := fmt.Sprintf("%s/%s/shards=%d/at=%d", family, alg, shards, snapAt)
+					spec := equivSpec(family, shards)
+					build := equivBuilder(t, alg, spec)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						src, err := spec.NewSource()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := CheckSnapshotEquivalence(build, src, equivAlpha, checkpoints, snapAt); err != nil {
+							t.Fatal(err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotEquivalenceEdges pins the boundary snapshot points: a
+// snapshot before the first request (a freshly built instance must
+// round-trip) and after the last (nothing left to replay; final state must
+// still compare equal).
+func TestSnapshotEquivalenceEdges(t *testing.T) {
+	spec := equivSpec("uniform", 2)
+	build := equivBuilder(t, "r-bma", spec)
+	for _, snapAt := range []int{0, equivRequests} {
+		src, err := spec.NewSource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckSnapshotEquivalence(build, src, equivAlpha, Checkpoints(equivRequests, 4), snapAt); err != nil {
+			t.Fatalf("snapAt=%d: %v", snapAt, err)
+		}
+	}
+}
+
+// TestSnapshotRestoreRejectsMismatch pins the loud-failure paths: a blob
+// restored into a differently configured instance must error, never
+// silently produce a diverging state.
+func TestSnapshotRestoreRejectsMismatch(t *testing.T) {
+	spec := equivSpec("uniform", 1)
+	src, err := spec.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := spec.BuildAlgorithm("r-bma", equivB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewIncremental(alg, equivAlpha)
+	if err := replaySpan(in, src, 0, 5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := in.Snapshot(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		alg   string
+		b     int
+		alpha float64
+		want  string
+	}{
+		{"wrong b", "r-bma", equivB + 1, equivAlpha, "b="},
+		{"wrong alpha", "r-bma", equivB, equivAlpha + 1, "alpha"},
+		{"wrong algorithm", "bma", equivB, equivAlpha, "tag"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			target, err := spec.BuildAlgorithm(tc.alg, tc.b, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tin := NewIncremental(target, tc.alpha)
+			rerr := tin.Restore(bytes.NewReader(blob.Bytes()))
+			if rerr == nil {
+				t.Fatalf("restore into %s succeeded, want error", tc.name)
+			}
+			if !strings.Contains(rerr.Error(), tc.want) {
+				t.Fatalf("restore error %q does not mention %q", rerr, tc.want)
+			}
+		})
+	}
+}

@@ -7,7 +7,10 @@
 // generators are implemented here rather than delegated to math/rand.
 package stats
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Rand is a deterministic pseudo-random number generator based on
 // xoshiro256** (Blackman & Vigna), seeded through splitmix64. It is not safe
@@ -148,3 +151,19 @@ func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
 // Split derives an independent generator from the current one. Useful for
 // giving each of several components its own reproducible stream.
 func (r *Rand) Split() *Rand { return NewRand(r.Uint64()) }
+
+// State returns the generator's internal state, for snapshotting. A
+// generator restored with SetState continues the exact same stream.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously returned by State. The all-zero
+// state is invalid for xoshiro256** (it is a fixed point of the update and
+// Seed can never produce it); SetState rejects it so a corrupt snapshot
+// cannot wedge the generator.
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("stats: SetState with all-zero xoshiro256** state")
+	}
+	r.s = s
+	return nil
+}

@@ -67,6 +67,14 @@ type Options struct {
 	// are byte-identical for every value, so a heterogeneous fleet mixing
 	// different -parallel settings still agrees exactly on every job.
 	Parallel int
+	// CheckpointEvery, when > 0, checkpoints each in-flight grid job's
+	// algorithm state to the shard store roughly every that many requests
+	// (sim.GridOptions.CheckpointEvery), so a killed worker that re-leases
+	// the same shard resumes inside partially replayed jobs instead of
+	// restarting them. Checkpoints are local to this worker's shard store;
+	// a different worker re-running the shard replays from the last
+	// completed job, and determinism keeps the outcomes identical.
+	CheckpointEvery int
 	// Poll is how long to wait between lease attempts when the
 	// coordinator has nothing to lease (default 2s).
 	Poll time.Duration
@@ -333,9 +341,10 @@ func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
 	}()
 
 	_, runErr := store.RunContext(shardCtx, sim.GridOptions{
-		Workers:   r.opt.GridWorkers,
-		ChunkSize: r.opt.ChunkSize,
-		Parallel:  r.opt.Parallel,
+		Workers:         r.opt.GridWorkers,
+		ChunkSize:       r.opt.ChunkSize,
+		Parallel:        r.opt.Parallel,
+		CheckpointEvery: r.opt.CheckpointEvery,
 	})
 	if serr := store.Sync(); runErr == nil && serr != nil {
 		runErr = serr
@@ -354,8 +363,18 @@ func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
 		r.opt.Logf("work: %s lost the lease on shard %d of job %.12s — aborted at a chunk boundary", r.opt.Name, l.Shard, l.JobID)
 		return false
 	case runErr != nil && ctx.Err() != nil:
-		// Worker shutdown: abandon quietly; the store resumes next lease.
-		r.opt.Logf("work: %s abandoning shard %d of job %.12s (shutting down; local log kept)", r.opt.Name, l.Shard, l.JobID)
+		// Worker shutdown: hand the partial log to the coordinator (the
+		// upload is detached from the shutdown cancellation) so it absorbs
+		// the completed jobs and requeues the shard immediately instead of
+		// waiting out the lease TTL — whoever re-leases the shard resumes
+		// past the absorbed jobs. The local store stays too: if *this*
+		// worker re-leases it, it also resumes its own mid-job checkpoints.
+		if uerr := r.upload(ctx, l, logPath, "worker shutdown"); uerr != nil {
+			r.opt.Logf("work: handing off shard %d of job %.12s: %v (local log kept)", l.Shard, l.JobID, uerr)
+		} else {
+			r.opt.Logf("work: %s handed off shard %d of job %.12s (%d jobs absorbed; shard requeued)",
+				r.opt.Name, l.Shard, l.JobID, store.Len())
+		}
 		return false
 	}
 	failMsg := ""

@@ -85,12 +85,16 @@ for _ in $(seq 1 100); do
 done
 curl -sf "http://$addr/healthz" >/dev/null
 
-# A 2-worker fleet. Workers poll fast so the smoke stays quick.
+# A 2-worker fleet. Workers poll fast so the smoke stays quick;
+# -checkpoint-every arms the mid-shard handoff exercised by the chaos leg.
+worker_pids=()
 for w in 1 2; do
 	"$tmp/experiments" worker -coordinator "http://$addr" -capacity 2 \
 		-workdir "$tmp/w$w" -name "smoke-w$w" -poll 100ms \
+		-checkpoint-every 500000 -grid-workers 1 \
 		>"$tmp/worker$w.log" 2>&1 &
 	pids+=($!)
+	worker_pids+=($!)
 done
 
 submit=$(curl -sf -X POST --data-binary @"$tmp/specs.json" "http://$addr/api/v1/jobs")
@@ -141,11 +145,98 @@ if ! cmp -s "$tmp/served.csv" "$tmp/direct/summary.csv"; then
 	exit 1
 fi
 
-# Graceful fleet + coordinator shutdown must exit zero (workers first).
+# Chaos leg: SIGINT a worker in the middle of a shard. The dying worker
+# uploads its partial log so the coordinator requeues the shard at once;
+# the surviving worker finishes it (resuming inside partially replayed
+# jobs from the dead worker's uploaded outcomes plus its own checkpoints)
+# and the merged summary must STILL be byte-identical to the direct run.
+cat >"$tmp/specs2.json" <<'EOF'
+[
+  {
+    "name": "chaos-uni",
+    "family": "uniform",
+    "racks": 16,
+    "requests": 20000000,
+    "seed": 21,
+    "bs": [2],
+    "reps": 1,
+    "algs": ["r-bma", "bma"]
+  }
+]
+EOF
+"$tmp/experiments" grid -scenarios "$tmp/specs2.json" -store "$tmp/direct2" \
+	-curve-points 10 -outdir "$tmp/direct2-out" -progress=false >/dev/null
+
+submit=$(curl -sf -X POST --data-binary @"$tmp/specs2.json" "http://$addr/api/v1/jobs")
+job2_id=$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' <<<"$submit")
+if [ -z "$job2_id" ]; then
+	echo "smoke_distributed: chaos submission returned no job id: $submit" >&2
+	exit 1
+fi
+
+# Wait until a worker holds a leased chaos shard, then kill that worker
+# mid-run.
+victim=""
+for _ in $(seq 1 200); do
+	shards=$(curl -sf "http://$addr/api/v1/jobs/$job2_id/shards")
+	if grep -q '"state": "leased"' <<<"$shards"; then
+		victim=$(sed -n 's/.*"worker": "smoke-w\([0-9]*\)".*/\1/p' <<<"$shards" | head -1)
+		[ -n "$victim" ] && break
+	fi
+	sleep 0.05
+done
+if [ -z "$victim" ]; then
+	echo "smoke_distributed: no worker ever leased a chaos shard:" >&2
+	curl -sf "http://$addr/api/v1/jobs/$job2_id/shards" >&2
+	exit 1
+fi
+sleep 0.3 # let the replay get into the shard's interior
+victim_pid="${worker_pids[$((victim - 1))]}"
+kill -INT "$victim_pid"
+wait "$victim_pid"
+if ! grep -q 'handed off shard' "$tmp/worker$victim.log"; then
+	echo "smoke_distributed: killed worker smoke-w$victim did not hand off its shard:" >&2
+	cat "$tmp/worker$victim.log" >&2
+	exit 1
+fi
+
+state=""
+for _ in $(seq 1 1200); do
+	status=$(curl -sf "http://$addr/api/v1/jobs/$job2_id")
+	state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' <<<"$status")
+	case "$state" in
+	done) break ;;
+	failed)
+		echo "smoke_distributed: chaos job failed: $status" >&2
+		cat "$tmp/serve.log" "$tmp"/worker*.log >&2
+		exit 1
+		;;
+	esac
+	sleep 0.1
+done
+if [ "$state" != "done" ]; then
+	echo "smoke_distributed: chaos job never finished (state=$state)" >&2
+	cat "$tmp/serve.log" "$tmp"/worker*.log >&2
+	exit 1
+fi
+
+curl -sf "http://$addr/api/v1/jobs/$job2_id/summary.csv" >"$tmp/served2.csv"
+if ! cmp -s "$tmp/served2.csv" "$tmp/direct2/summary.csv"; then
+	echo "smoke_distributed: chaos summary.csv differs from direct RunGrid:" >&2
+	diff "$tmp/served2.csv" "$tmp/direct2/summary.csv" >&2 || true
+	exit 1
+fi
+
+# Graceful fleet + coordinator shutdown must exit zero (the surviving
+# worker and the coordinator; worker 1 was already SIGINTed by the chaos
+# leg).
 for ((i = ${#pids[@]} - 1; i >= 0; i--)); do
-	kill -INT "${pids[$i]}"
-	wait "${pids[$i]}"
+	pid="${pids[$i]}"
+	if kill -0 "$pid" 2>/dev/null; then
+		kill -INT "$pid"
+		wait "$pid"
+	fi
 done
 pids=()
 
-echo "smoke_distributed: OK (job $job_id drained by 2 workers, summary byte-identical)"
+echo "smoke_distributed: OK (job $job_id drained by 2 workers, summary byte-identical; chaos job $job2_id survived a mid-shard worker kill byte-identically)"

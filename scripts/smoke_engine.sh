@@ -96,9 +96,54 @@ if [ "$code" != "404" ]; then
 	exit 1
 fi
 
+# Snapshot/restore leg: stream half a workload into a fresh session,
+# snapshot it over HTTP, kill the engine hard (kill -9 — nothing graceful
+# to lean on), restart it, restore the session from the blob, and stream
+# the remaining half with `loadgen -resume -verify`: the resumed session's
+# final costs must still be bit-identical to an offline replay of the FULL
+# stream — a snapshot really is the session, mid-stream, to the bit.
+"$tmp/experiments" loadgen -ingest "$ingest" -control "http://$addr" \
+	-session ckpt -family uniform -racks 48 -requests 150000 -conns 1 -seed 9 \
+	-keep >"$tmp/loadgen_head.out"
+curl -sf -X POST "http://$addr/api/v1/sessions/ckpt/snapshot" -o "$tmp/ckpt.bin"
+if [ ! -s "$tmp/ckpt.bin" ]; then
+	echo "smoke_engine: snapshot endpoint returned an empty blob" >&2
+	exit 1
+fi
+
+kill -9 "$engine_pid"
+wait "$engine_pid" 2>/dev/null || true
+"$tmp/experiments" engine -addr "$addr" -ingest "$ingest" >>"$tmp/engine.log" 2>&1 &
+engine_pid=$!
+for _ in $(seq 1 100); do
+	if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	if ! kill -0 "$engine_pid" 2>/dev/null; then
+		echo "smoke_engine: engine died on restart:" >&2
+		cat "$tmp/engine.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+curl -sf -X POST --data-binary "@$tmp/ckpt.bin" \
+	"http://$addr/api/v1/sessions/restore" >/dev/null
+restored=$(curl -sf "http://$addr/api/v1/sessions/ckpt" |
+	sed -n 's/.*"served": \([0-9]*\).*/\1/p' | head -1)
+if [ "$restored" != "150000" ]; then
+	echo "smoke_engine: restored session reports served=$restored, want 150000" >&2
+	exit 1
+fi
+
+"$tmp/experiments" loadgen -ingest "$ingest" -control "http://$addr" \
+	-session ckpt -family uniform -racks 48 -requests 300000 -conns 1 -seed 9 \
+	-resume -verify | tee "$tmp/loadgen_resume.out"
+grep -q 'verify MATCH' "$tmp/loadgen_resume.out"
+
 # Graceful shutdown.
 kill -INT "$engine_pid"
 wait "$engine_pid"
 engine_pid=""
 
-echo "smoke_engine: OK (verify MATCH, $rate Mreq/s >= $floor floor)"
+echo "smoke_engine: OK (verify MATCH, $rate Mreq/s >= $floor floor; snapshot->kill -9->restore->resume MATCH)"

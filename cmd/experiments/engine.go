@@ -47,8 +47,10 @@ func engineMain(args []string) {
 			"  GET    /api/v1/sessions/{id}       status: cumulative costs + latency quantiles\n"+
 			"  DELETE /api/v1/sessions/{id}       drop a session\n"+
 			"  POST   /api/v1/sessions/{id}/serve serve one request ({\"u\":3,\"v\":7})\n"+
+			"  GET    /api/v1/sessions/{id}/churn per-batch matching churn as NDJSON (?after=seq, ?follow=1)\n"+
 			"  POST   /api/v1/sessions/{id}/snapshot serialize the session (octet-stream)\n"+
 			"  POST   /api/v1/sessions/restore    recreate a session from a snapshot body (?id= renames)\n"+
+			"  GET    /metrics                    Prometheus text exposition (obm_engine_*)\n"+
 			"  GET    /healthz                    liveness\n"+
 			"  /debug/pprof/                      runtime profiles\n\n"+
 			"Bulk traffic goes to the binary protocol on -ingest (see\n"+

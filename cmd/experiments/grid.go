@@ -4,11 +4,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"obm/internal/obs"
 	"obm/internal/report"
 	"obm/internal/sim"
 )
@@ -42,6 +45,7 @@ func gridMain(args []string) {
 		ckEvery   = fs.Int("checkpoint-every", 0, "with -store: checkpoint in-flight jobs every N requests so -resume restarts inside them (0 = off)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU pprof profile of the grid run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap pprof profile (taken after the run) to this file")
+		metrics   = fs.String("metrics", "", "address to serve GET /metrics (obm_grid_* series) on while the grid runs (empty = off)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: experiments grid [flags]\n\n"+
@@ -95,6 +99,19 @@ func gridMain(args []string) {
 	defer stopProfiles()
 
 	opt := sim.GridOptions{Workers: *workers, ChunkSize: *chunk, Parallel: *parallel, CheckpointEvery: *ckEvery}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		opt.Metrics = sim.NewMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "  grid: metrics on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, mux)
+	}
 	if *progress {
 		opt.Progress = func(done, total int, job sim.GridJob, err error) {
 			status := "ok"

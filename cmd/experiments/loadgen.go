@@ -8,9 +8,11 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"obm/internal/engine"
+	"obm/internal/obs"
 	"obm/internal/sim"
 	"obm/internal/trace"
 )
@@ -44,6 +46,7 @@ func loadgenMain(args []string) {
 		verify   = fs.Bool("verify", false, "after draining, replay offline and require bit-identical costs")
 		keep     = fs.Bool("keep", false, "leave the sessions live instead of deleting them")
 		resume   = fs.Bool("resume", false, "attach to existing sessions and stream only the tail past their served count (helloOK); -requests stays the full stream length")
+		report   = fs.Duration("report-every", 0, "print a client-side progress line (req/s, batch RTT p50/p99, cumulative cost) every interval while streaming (0 = off)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: experiments loadgen [flags]\n\n"+
@@ -123,6 +126,18 @@ func loadgenMain(args []string) {
 		}
 	}
 
+	// Client-side progress tracking for -report-every: a shared streamed
+	// counter, a batch round-trip histogram (timestamps FIFO as deep as
+	// the pipeline window — a Send that returns a result acked the oldest
+	// in-flight batch), and each connection's latest cumulative result.
+	track := *report > 0
+	var (
+		streamedTotal atomic.Int64
+		rtt           obs.Histogram
+		costMu        sync.Mutex
+		lastRes       = make([]engine.BatchResult, *conns)
+	)
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *conns; i++ {
@@ -163,16 +178,32 @@ func loadgenMain(args []string) {
 				r.skipped = skip
 			}
 			t0 := time.Now()
+			var pend []time.Time
 			for {
 				n := st.Next(buf)
 				if n == 0 {
 					break
 				}
-				if _, err := c.Send(buf[:n]); err != nil {
+				if track {
+					pend = append(pend, time.Now())
+				}
+				res, err := c.Send(buf[:n])
+				if err != nil {
 					r.err = err
 					return
 				}
 				r.streamed += n
+				if track {
+					streamedTotal.Add(int64(n))
+					if res != nil {
+						rtt.ObserveDuration(time.Since(pend[0]))
+						copy(pend, pend[1:])
+						pend = pend[:len(pend)-1]
+						costMu.Lock()
+						lastRes[i] = *res
+						costMu.Unlock()
+					}
+				}
 			}
 			final, err := c.Drain()
 			if err != nil {
@@ -210,7 +241,40 @@ func loadgenMain(args []string) {
 			r.final = *final
 		}(i)
 	}
+	var reportDone, reportStop chan struct{}
+	if track {
+		reportStop, reportDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(reportDone)
+			t := time.NewTicker(*report)
+			defer t.Stop()
+			for {
+				select {
+				case <-reportStop:
+					return
+				case <-t.C:
+				}
+				el := time.Since(start).Seconds()
+				n := streamedTotal.Load()
+				sum := rtt.Summary()
+				costMu.Lock()
+				var routing, reconfig float64
+				for _, res := range lastRes {
+					routing += res.Routing
+					reconfig += res.Reconfig
+				}
+				costMu.Unlock()
+				fmt.Printf("loadgen: t=%5.1fs streamed %d reqs (%.3f Mreq/s), batch RTT p50 %dµs p99 %dµs, cost %.0f (routing %.0f + reconfig %.0f)\n",
+					el, n, float64(n)/el/1e6, sum.P50/1000, sum.P99/1000, routing+reconfig, routing, reconfig)
+			}
+		}()
+	}
+
 	wg.Wait()
+	if track {
+		close(reportStop)
+		<-reportDone
+	}
 	wall := time.Since(start)
 
 	total := 0

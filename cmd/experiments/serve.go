@@ -49,6 +49,7 @@ func serveMain(args []string) {
 			"  POST /api/v1/jobs/{id}/shards/{k}/heartbeat\n"+
 			"  POST /api/v1/jobs/{id}/shards/{k}/complete\n"+
 			"  GET  /api/v1/jobs/{id}/shards      shard/lease states\n"+
+			"  GET  /metrics                      Prometheus text exposition (obm_serve_* + obm_grid_*)\n"+
 			"  GET  /healthz\n\n"+
 			"Identical spec lists dedupe onto one job (the run's SHA-256 spec hash);\n"+
 			"a finished job is a cache hit, across restarts. Grids execute on this\n"+

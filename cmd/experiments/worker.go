@@ -4,6 +4,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +32,7 @@ func workerMain(args []string) {
 		parallel    = fs.Int("parallel", 1, "replay goroutines per multi-plane job (shards > 1); results are identical for every value")
 		ckEvery     = fs.Int("checkpoint-every", 0, "checkpoint in-flight grid jobs every N requests so a restarted worker resumes inside them (0 = off)")
 		poll        = fs.Duration("poll", 2*time.Second, "idle wait between lease attempts when nothing is leasable")
+		metricsAddr = fs.String("metrics", "", "address to serve GET /metrics (obm_work_* + obm_grid_* series) and /healthz on (empty = off)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: experiments worker -coordinator URL [flags]\n\n"+
@@ -70,6 +73,20 @@ func workerMain(args []string) {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", r.Registry().Handler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "worker: metrics on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, mux)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -23,7 +23,10 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
+
+	"obm/internal/obs"
 )
 
 // Options tunes an Engine.
@@ -34,6 +37,22 @@ type Options struct {
 	MaxSessions int
 	// Logf, when non-nil, receives connection-level log lines.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, is where the engine registers its
+	// obm_engine_* metrics (nil gets a private registry). Either way the
+	// exposition is served at GET /metrics on the control plane.
+	Registry *obs.Registry
+}
+
+// engineMetrics are the engine-wide ingest series. The per-batch updates
+// in serveConn are two atomic adds and one mutexed histogram record per
+// *batch* — engine_test.go pins that the ingest loop stays 0 allocs/op
+// with them enabled.
+type engineMetrics struct {
+	requests  *obs.Counter
+	batches   *obs.Counter
+	errors    *obs.Counter
+	conns     *obs.Gauge
+	batchSize *obs.Histogram
 }
 
 // Engine is the session registry plus the binary ingest listener. One
@@ -41,6 +60,8 @@ type Options struct {
 // per-session serialization happens inside Session.
 type Engine struct {
 	opts Options
+	reg  *obs.Registry
+	met  engineMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -58,10 +79,63 @@ func New(opts Options) *Engine {
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = 64
 	}
-	return &Engine{
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
 		opts:     opts,
+		reg:      reg,
 		sessions: make(map[string]*Session),
 		conns:    make(map[net.Conn]struct{}),
+	}
+	e.met = engineMetrics{
+		requests:  reg.Counter("obm_engine_ingest_requests_total", "Requests served over the binary ingest plane."),
+		batches:   reg.Counter("obm_engine_ingest_batches_total", "Batch frames served over the binary ingest plane."),
+		errors:    reg.Counter("obm_engine_ingest_errors_total", "Binary ingest connections failed by protocol or session errors."),
+		conns:     reg.Gauge("obm_engine_ingest_connections", "Open binary ingest connections."),
+		batchSize: reg.Histogram("obm_engine_batch_requests", "Requests per ingest batch frame.", 1),
+	}
+	reg.Collect(e.collect)
+	return e
+}
+
+// Registry returns the engine's metrics registry (the one serving
+// GET /metrics).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// collect emits the dynamic per-session series at scrape time, in sorted
+// session order so the exposition is deterministic.
+func (e *Engine) collect(x *obs.Exposition) {
+	ss := e.Statuses()
+	x.Gauge("obm_engine_sessions", "Live sessions.", float64(len(ss)))
+	for i := range ss {
+		st := &ss[i]
+		lbl := obs.Label{Key: "session", Value: st.ID}
+		x.Counter("obm_engine_session_served_total", "Requests served by the session.", uint64(st.Served), lbl)
+		x.Counter("obm_engine_session_adds_total", "Matching edges added by the session.", uint64(st.Adds), lbl)
+		x.Counter("obm_engine_session_removals_total", "Matching edges removed by the session.", uint64(st.Removals), lbl)
+		x.Counter("obm_engine_session_batches_total", "Batches served by the session.", st.Latency.Batches, lbl)
+		x.Gauge("obm_engine_session_routing_cost", "Cumulative routing cost.", st.Routing, lbl)
+		x.Gauge("obm_engine_session_reconfig_cost", "Cumulative reconfiguration cost.", st.Reconfig, lbl)
+		x.Gauge("obm_engine_session_matching_size", "Current matching size.", float64(st.MatchingSize), lbl)
+		for _, p := range st.Planes {
+			x.Counter("obm_engine_plane_served_total", "Requests served per switch plane of sharded sessions.",
+				p.Served, lbl, obs.Label{Key: "plane", Value: strconv.Itoa(p.Plane)})
+		}
+	}
+	// Latency summaries need the live sessions (statuses carry only the
+	// derived microsecond views).
+	e.mu.Lock()
+	live := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		live = append(live, s)
+	}
+	e.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for _, s := range live {
+		x.Summary("obm_engine_session_batch_seconds", "Per-batch serve latency.",
+			s.Latency(), 1e-9, obs.Label{Key: "session", Value: s.id})
 	}
 }
 
@@ -171,12 +245,14 @@ func (e *Engine) ServeIngest(ln net.Listener) error {
 		}
 		e.conns[conn] = struct{}{}
 		e.mu.Unlock()
+		e.met.conns.Add(1)
 		go func() {
 			defer func() {
 				conn.Close()
 				e.mu.Lock()
 				delete(e.conns, conn)
 				e.mu.Unlock()
+				e.met.conns.Add(-1)
 			}()
 			if err := e.serveConn(conn); err != nil {
 				e.logf("engine: conn %s: %v", conn.RemoteAddr(), err)
@@ -223,6 +299,7 @@ func (e *Engine) serveConn(conn net.Conn) error {
 	var buf []byte
 
 	fail := func(err error) error {
+		e.met.errors.Inc()
 		bw.Write(appendErrorFrame(nil, err.Error()))
 		bw.Flush()
 		return err
@@ -289,6 +366,9 @@ func (e *Engine) serveConn(conn net.Conn) error {
 		if err := sess.FeedBinary(payload[4:], &res); err != nil {
 			return fail(err)
 		}
+		e.met.requests.Add(uint64(count))
+		e.met.batches.Inc()
+		e.met.batchSize.Observe(uint64(count))
 		encodeResult(&resBuf, &res)
 		if _, err := bw.Write(resBuf[:]); err != nil {
 			return err

@@ -5,16 +5,22 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 )
 
 // The engine's HTTP/JSON control plane:
 //
 //	GET    /healthz                       liveness + session count
+//	GET    /metrics                       Prometheus text exposition
 //	POST   /api/v1/sessions               create a session (SessionConfig JSON)
 //	GET    /api/v1/sessions               all session statuses
 //	GET    /api/v1/sessions/{id}          one session's status
 //	DELETE /api/v1/sessions/{id}          drop a session
 //	POST   /api/v1/sessions/{id}/serve    serve one request ({"u": 3, "v": 7})
+//	GET    /api/v1/sessions/{id}/churn    per-batch matching-churn deltas as
+//	                                      NDJSON (?after=seq cursors,
+//	                                      ?follow=1 tails the live stream)
 //	POST   /api/v1/sessions/{id}/snapshot serialize the session (octet-stream)
 //	POST   /api/v1/sessions/restore       recreate a session from a snapshot
 //	                                      body (?id= renames it)
@@ -29,11 +35,13 @@ import (
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", e.handleHealth)
+	mux.Handle("GET /metrics", e.reg.Handler())
 	mux.HandleFunc("POST /api/v1/sessions", e.handleCreate)
 	mux.HandleFunc("GET /api/v1/sessions", e.handleList)
 	mux.HandleFunc("GET /api/v1/sessions/{id}", e.withSession(e.handleStatus))
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}", e.handleDelete)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/serve", e.withSession(e.handleServe))
+	mux.HandleFunc("GET /api/v1/sessions/{id}/churn", e.withSession(e.handleChurn))
 	mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", e.withSession(e.handleSnapshot))
 	mux.HandleFunc("POST /api/v1/sessions/restore", e.handleRestore)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -131,6 +139,57 @@ func (e *Engine) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+// churnPoll is the follower poll interval of the churn stream: fast
+// enough that a follower never falls a ring behind at realistic batch
+// rates, slow enough to cost nothing.
+const churnPoll = 25 * time.Millisecond
+
+// handleChurn streams a session's per-batch churn events as NDJSON.
+// Plain GET dumps the retained ring after the ?after cursor and returns;
+// ?follow=1 keeps the response open and tails new batches until the
+// client disconnects or the session is deleted. Each line is one
+// ChurnEvent; its seq field is the cursor for resuming.
+func (e *Engine) handleChurn(w http.ResponseWriter, r *http.Request, s *Session) {
+	q := r.URL.Query()
+	var after uint64
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad after cursor %q: %v", v, err)
+			return
+		}
+		after = n
+	}
+	follow := q.Get("follow") == "1" || q.Get("follow") == "true"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	for {
+		events := s.Churn(after)
+		for i := range events {
+			if err := enc.Encode(&events[i]); err != nil {
+				return
+			}
+			after = events[i].Seq
+		}
+		if len(events) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if !follow {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(churnPoll):
+		}
+		if _, live := e.Session(s.ID()); !live {
+			return
+		}
+	}
 }
 
 // serveRequest is the JSON body of the single-request serve path.

@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"obm/internal/obs"
+	"obm/internal/trace"
+)
+
+// TestIngestMetricsAllocFree is the AllocsPerRun twin of
+// BenchmarkEngineIngest's 0 allocs/op contract, with metrics explicitly
+// enabled: a pipelined client streams batches over real loopback TCP and
+// the whole process — client, connection handler, session, counters,
+// batch-size histogram, churn ring — must not allocate once warm.
+func TestIngestMetricsAllocFree(t *testing.T) {
+	const (
+		racks  = 64
+		batch  = 256
+		window = 4
+	)
+	reg := obs.NewRegistry()
+	e := New(Options{Registry: reg})
+	defer e.Close()
+	if _, err := e.CreateSession(SessionConfig{ID: "m", Racks: racks, B: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go e.ServeIngest(ln)
+	c, _, err := DialIngest(ln.Addr().String(), "m", window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := trace.NewUniformStream(racks, 8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Collect(st).Reqs
+	nb := len(reqs) / batch
+	send := func(i int) {
+		if _, err := c.Send(reqs[(i%nb)*batch : (i%nb+1)*batch]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nb; i++ { // warm both ends past the pipeline window
+		send(i)
+	}
+	const runs = 16
+	allocs := testing.AllocsPerRun(runs, func() { send(0) })
+	if allocs != 0 {
+		t.Errorf("ingest with metrics enabled allocates %.1f times per batch, want 0", allocs)
+	}
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := uint64(nb+runs+1) * batch
+	if got := e.met.requests.Value(); got != total {
+		t.Errorf("obm_engine_ingest_requests_total = %d, want %d", got, total)
+	}
+	if got := e.met.batches.Value(); got != uint64(nb+runs+1) {
+		t.Errorf("obm_engine_ingest_batches_total = %d, want %d", got, nb+runs+1)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"obm_engine_ingest_requests_total ",
+		"obm_engine_batch_requests{quantile=\"0.5\"}",
+		"obm_engine_session_served_total{session=\"m\"}",
+		"obm_engine_session_batch_seconds_count{session=\"m\"}",
+		"obm_engine_sessions 1",
+	} {
+		if !strings.Contains(b.String(), series) {
+			t.Errorf("exposition is missing %q:\n%s", series, b.String())
+		}
+	}
+}
+
+// TestChurnStream checks the per-batch churn trace end to end: ring
+// cursoring through Session.Churn, delta/cumulative consistency against
+// the wire results, and the NDJSON control-plane endpoint.
+func TestChurnStream(t *testing.T) {
+	e := New(Options{})
+	s, err := e.CreateSession(SessionConfig{ID: "c", Racks: 32, B: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.NewUniformStream(32, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Collect(st).Reqs
+	var res BatchResult
+	const batch = 100
+	for i := 0; i < len(reqs); i += batch {
+		frame, err := appendBatch(nil, reqs[i:i+batch])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FeedBinary(frame[headerSize+4:], &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	events := s.Churn(0)
+	if len(events) != 5 {
+		t.Fatalf("Churn(0) returned %d events, want 5", len(events))
+	}
+	var adds, removals uint32
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Requests != batch {
+			t.Fatalf("event %d covers %d requests, want %d", i, ev.Requests, batch)
+		}
+		adds += ev.Adds
+		removals += ev.Removals
+	}
+	last := events[len(events)-1]
+	// The final event's cumulative fields are the exact wire-result
+	// values — bit-identical, not approximately equal.
+	if last.Served != res.Served ||
+		math.Float64bits(last.Routing) != math.Float64bits(res.Routing) ||
+		math.Float64bits(last.Reconfig) != math.Float64bits(res.Reconfig) {
+		t.Fatalf("last churn event %+v disagrees with wire result %+v", last, res)
+	}
+	st2 := s.Status()
+	if adds != uint32(st2.Adds) || removals != uint32(st2.Removals) {
+		t.Fatalf("churn deltas sum to %d/%d adds/removals, status says %d/%d",
+			adds, removals, st2.Adds, st2.Removals)
+	}
+
+	// Cursor: after=3 returns exactly events 4 and 5.
+	tail := s.Churn(3)
+	if len(tail) != 2 || tail[0].Seq != 4 || tail[1].Seq != 5 {
+		t.Fatalf("Churn(3) = %+v", tail)
+	}
+
+	// The NDJSON endpoint streams the same events.
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/api/v1/sessions/c/churn?after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got []ChurnEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev ChurnEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != 3 || got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("churn endpoint returned %+v", got)
+	}
+	if resp, err := ts.Client().Get(ts.URL + "/api/v1/sessions/c/churn?after=bogus"); err != nil || resp.StatusCode != 400 {
+		t.Fatalf("bad cursor: %v %d", err, resp.StatusCode)
+	}
+}
+
+// TestStatusPlanes checks the sharded session's per-plane served
+// counters: owners follow core.Partition (min endpoint mod shards),
+// plane counts sum to the session total, and single-plane sessions
+// report no planes.
+func TestStatusPlanes(t *testing.T) {
+	const (
+		racks  = 32
+		shards = 4
+	)
+	e := New(Options{})
+	s, err := e.CreateSession(SessionConfig{ID: "p", Racks: racks, B: 2, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.NewUniformStream(racks, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := trace.Collect(st).Reqs
+	want := make([]uint64, shards)
+	for _, r := range reqs {
+		u := r.Src
+		if r.Dst < u {
+			u = r.Dst
+		}
+		want[u%shards]++
+	}
+	frame, err := appendBatch(nil, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res BatchResult
+	if err := s.FeedBinary(frame[headerSize+4:], &res); err != nil {
+		t.Fatal(err)
+	}
+	status := s.Status()
+	if len(status.Planes) != shards {
+		t.Fatalf("status has %d planes, want %d", len(status.Planes), shards)
+	}
+	var sum uint64
+	var msum int
+	for p, ps := range status.Planes {
+		if ps.Plane != p {
+			t.Fatalf("plane %d labeled %d", p, ps.Plane)
+		}
+		if ps.Served != want[p] {
+			t.Fatalf("plane %d served %d, want %d", p, ps.Served, want[p])
+		}
+		sum += ps.Served
+		msum += ps.MatchingSize
+	}
+	if sum != uint64(status.Served) {
+		t.Fatalf("plane served sums to %d, session served %d", sum, status.Served)
+	}
+	if msum != status.MatchingSize {
+		t.Fatalf("plane matching sizes sum to %d, session reports %d", msum, status.MatchingSize)
+	}
+
+	// Single-plane sessions have no per-plane breakdown.
+	s1, err := e.CreateSession(SessionConfig{ID: "p1", Racks: racks, B: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planes := s1.Status().Planes; planes != nil {
+		t.Fatalf("unsharded session reports planes %+v", planes)
+	}
+}

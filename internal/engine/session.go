@@ -6,9 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"obm/internal/core"
 	"obm/internal/graph"
+	"obm/internal/obs"
 	"obm/internal/sim"
-	"obm/internal/stats"
 	"obm/internal/trace"
 )
 
@@ -76,11 +77,41 @@ func (c SessionConfig) Validate() error {
 	return c.spec().Validate()
 }
 
+// churnRing is how many per-batch churn events a session retains for the
+// introspection stream: enough for a follower polling every few hundred
+// milliseconds to never miss a batch at realistic batch rates, small
+// enough (~64 KiB) to embed in every session.
+const churnRing = 1024
+
+// ChurnEvent is one batch's matching churn: what the batch did to the
+// matching (edges added/removed, cost deltas) plus the cumulative
+// counters after it. Events are numbered by batch (Seq, 1-based) and
+// streamed as JSON deltas from the control plane's churn endpoint; the
+// cumulative fields are the same Float64bits-exact values the wire's
+// result frames carry, so a churn stream is a faithful decomposition of
+// the session's cost curve.
+type ChurnEvent struct {
+	Seq           uint64  `json:"seq"`
+	Requests      uint32  `json:"requests"`
+	Adds          uint32  `json:"adds"`
+	Removals      uint32  `json:"removals"`
+	RoutingDelta  float64 `json:"routing_delta"`
+	ReconfigDelta float64 `json:"reconfig_delta"`
+	Served        uint64  `json:"served"`
+	Routing       float64 `json:"routing_cost"`
+	Reconfig      float64 `json:"reconfig_cost"`
+	MatchingSize  uint32  `json:"matching_size"`
+	UnixNano      int64   `json:"unix_nano"`
+}
+
 // Session is one live matching instance: an algorithm plus the shared
 // incremental accumulator (sim.Incremental), a request compiler bound to
-// the session's metric, and a latency histogram. All mutation happens
-// under mu; the binary ingest path reuses the session's scratch buffer so
-// a warmed session serves batches without allocating.
+// the session's metric, and its observability (latency histogram, churn
+// ring, per-plane served counters). All matching mutation happens under
+// mu; the binary ingest path reuses the session's scratch buffer so a
+// warmed session serves batches without allocating — the observability
+// writes are an atomic-or-mutexed update per *batch*, never per request,
+// and engine_test.go pins the 0 allocs/op contract with them enabled.
 type Session struct {
 	id      string
 	cfg     SessionConfig // defaults filled
@@ -88,11 +119,16 @@ type Session struct {
 	metric  *graph.Metric
 	idx     *trace.PairIndex
 
-	mu      sync.Mutex
-	inc     sim.Incremental
-	hist    stats.Histogram
-	batches uint64
-	scratch []trace.CompiledReq
+	mu          sync.Mutex
+	inc         sim.Incremental
+	batches     uint64
+	scratch     []trace.CompiledReq
+	planeServed []uint64 // per-plane served counts, nil unless Shards > 1
+
+	// hist and churn lock themselves; like the batch counter they are
+	// observability, not matching state, and start fresh after a restore.
+	hist  obs.Histogram
+	churn *obs.Ring[ChurnEvent]
 }
 
 // newSession builds a session from a validated, defaults-filled config.
@@ -107,6 +143,10 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 		created: time.Now(),
 		metric:  graph.FatTreeRacks(cfg.Racks).Metric(),
 		idx:     trace.SharedPairIndex(cfg.Racks),
+		churn:   obs.NewRing[ChurnEvent](churnRing),
+	}
+	if cfg.Shards > 1 {
+		s.planeServed = make([]uint64, cfg.Shards)
 	}
 	s.inc.Init(alg, cfg.Alpha)
 	return s, nil
@@ -162,11 +202,27 @@ func (s *Session) FeedBinary(p []byte, res *BatchResult) error {
 			Dist: int32(s.metric.Dist(iu, iv)),
 		}
 	}
-	adds, removals := s.inc.FeedChunk(reqs)
-	s.fill(res, adds, removals)
-	s.batches++
-	s.hist.Record(uint64(time.Since(start)))
+	s.countPlanes(reqs)
+	before := s.inc.Counters()
+	s.inc.FeedChunk(reqs)
+	s.fill(res, before, start)
+	s.hist.Observe(uint64(time.Since(start)))
 	return nil
+}
+
+// countPlanes tallies per-plane served counts for sharded sessions.
+// Requests are already canonicalized (U < V), so the owner is exactly
+// core.Partition's int(U) % shards. Called after the whole batch
+// validated — a rejected batch leaves the tallies untouched, matching
+// the all-or-nothing serve contract.
+func (s *Session) countPlanes(reqs []trace.CompiledReq) {
+	if s.planeServed == nil {
+		return
+	}
+	shards := len(s.planeServed)
+	for i := range reqs {
+		s.planeServed[int(reqs[i].U)%shards]++
+	}
 }
 
 // ServeOne serves a single request (the HTTP path): endpoints in either
@@ -189,28 +245,54 @@ func (s *Session) ServeOne(u, v int, res *BatchResult) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
+	if s.planeServed != nil {
+		s.planeServed[int(req.U)%len(s.planeServed)]++
+	}
 	before := s.inc.Counters()
 	s.inc.Feed(req)
-	after := s.inc.Counters()
-	s.fill(res, after.Adds-before.Adds, after.Removals-before.Removals)
-	s.batches++
-	s.hist.Record(uint64(time.Since(start)))
+	s.fill(res, before, start)
+	s.hist.Observe(uint64(time.Since(start)))
 	return nil
 }
 
-// fill snapshots the cumulative counters into res. Caller holds mu.
-func (s *Session) fill(res *BatchResult, adds, removals int) {
+// fill snapshots the post-batch cumulative counters into res, advances
+// the batch count and appends the batch's churn event (computed against
+// the pre-batch counters). Caller holds mu.
+func (s *Session) fill(res *BatchResult, before sim.Counters, start time.Time) {
 	c := s.inc.Counters()
 	res.Served = uint64(c.Served)
 	res.Routing = c.Routing
 	res.Reconfig = c.Reconfig
-	res.Adds = uint32(adds)
-	res.Removals = uint32(removals)
+	res.Adds = uint32(c.Adds - before.Adds)
+	res.Removals = uint32(c.Removals - before.Removals)
 	res.MatchingSize = uint32(s.inc.MatchingSize())
+	s.batches++
+	s.churn.Append(ChurnEvent{
+		Seq:           s.batches,
+		Requests:      uint32(c.Served - before.Served),
+		Adds:          res.Adds,
+		Removals:      res.Removals,
+		RoutingDelta:  c.Routing - before.Routing,
+		ReconfigDelta: c.Reconfig - before.Reconfig,
+		Served:        res.Served,
+		Routing:       res.Routing,
+		Reconfig:      res.Reconfig,
+		MatchingSize:  res.MatchingSize,
+		UnixNano:      start.UnixNano(),
+	})
+}
+
+// Churn returns the retained churn events with Seq > after, oldest
+// first. A reader that fell behind the ring resumes at the oldest
+// retained event (its Seq tells it how much it missed).
+func (s *Session) Churn(after uint64) []ChurnEvent {
+	ev, _ := s.churn.Since(after)
+	return ev
 }
 
 // LatencySummary reports a session's per-batch serve latency distribution
-// (microseconds, from the alloc-free log2 histogram in internal/stats).
+// (microseconds, digested from the shared obs.Histogram — the same
+// distribution /metrics exposes in seconds).
 type LatencySummary struct {
 	Batches uint64  `json:"batches"`
 	P50us   float64 `json:"p50_us"`
@@ -221,9 +303,17 @@ type LatencySummary struct {
 	MeanUs  float64 `json:"mean_us"`
 }
 
+// PlaneStatus is one switch plane of a sharded session: how many of the
+// session's requests it owned and its current matching size.
+type PlaneStatus struct {
+	Plane        int    `json:"plane"`
+	Served       uint64 `json:"served"`
+	MatchingSize int    `json:"matching_size"`
+}
+
 // SessionStatus is one session's externally visible state: config,
-// cumulative counters (the same numbers the wire's result frames carry)
-// and serve-latency quantiles.
+// cumulative counters (the same numbers the wire's result frames carry),
+// serve-latency quantiles, and per-plane counters when sharded.
 type SessionStatus struct {
 	ID           string         `json:"id"`
 	Config       SessionConfig  `json:"config"`
@@ -236,15 +326,20 @@ type SessionStatus struct {
 	Removals     int            `json:"removals"`
 	MatchingSize int            `json:"matching_size"`
 	Latency      LatencySummary `json:"latency"`
+	Planes       []PlaneStatus  `json:"planes,omitempty"`
 }
+
+// Latency digests the session's per-batch serve latency (nanoseconds).
+func (s *Session) Latency() obs.Summary { return s.hist.Summary() }
 
 // Status snapshots the session.
 func (s *Session) Status() SessionStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c := s.inc.Counters()
+	lat := s.hist.Summary()
 	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
-	return SessionStatus{
+	st := SessionStatus{
 		ID:           s.id,
 		Config:       s.cfg,
 		CreatedAt:    s.created,
@@ -257,12 +352,23 @@ func (s *Session) Status() SessionStatus {
 		MatchingSize: s.inc.MatchingSize(),
 		Latency: LatencySummary{
 			Batches: s.batches,
-			P50us:   us(s.hist.Quantile(0.5)),
-			P90us:   us(s.hist.Quantile(0.9)),
-			P99us:   us(s.hist.Quantile(0.99)),
-			P999us:  us(s.hist.Quantile(0.999)),
-			MaxUs:   us(s.hist.Max()),
-			MeanUs:  s.hist.Mean() / 1e3,
+			P50us:   us(lat.P50),
+			P90us:   us(lat.P90),
+			P99us:   us(lat.P99),
+			P999us:  us(lat.P999),
+			MaxUs:   us(lat.Max),
+			MeanUs:  lat.Mean / 1e3,
 		},
 	}
+	if s.planeServed != nil {
+		st.Planes = make([]PlaneStatus, len(s.planeServed))
+		sh, _ := s.inc.Algorithm().(*core.Sharded)
+		for p := range st.Planes {
+			st.Planes[p] = PlaneStatus{Plane: p, Served: s.planeServed[p]}
+			if sh != nil {
+				st.Planes[p].MatchingSize = sh.Shard(p).MatchingSize()
+			}
+		}
+	}
+	return st
 }

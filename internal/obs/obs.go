@@ -1,0 +1,383 @@
+// Package obs is the zero-dependency observability layer shared by every
+// long-running binary in this repo: the live engine, the experiment
+// coordinator, the fleet worker and the grid replay driver.
+//
+// It is deliberately small — three metric kinds and one trace primitive —
+// because the hot paths it instruments are allocation-free and must stay
+// that way:
+//
+//   - Counter and Gauge are single atomic words. Updating one from the
+//     engine's per-batch ingest loop is one atomic add: no locks, no
+//     allocation, no registry lookup (callers hold the *Counter).
+//   - Histogram wraps the fixed-array log2 histogram in internal/stats
+//     behind a mutex, so concurrent writers (HTTP handlers, replay
+//     workers) share one distribution without per-sample allocation.
+//   - Ring (ring.go) is a fixed-capacity event trace for introspection
+//     streams (the engine's per-batch matching-churn deltas).
+//
+// A Registry owns named metrics and renders them in the Prometheus text
+// exposition format (WritePrometheus / Handler). Metrics registered up
+// front are static series; dynamic series — per-session counters whose
+// label sets come and go — are emitted at scrape time by collector
+// callbacks (Collect), which keeps registration-free hot paths and avoids
+// any register/unregister lifecycle. Histograms are exposed as summaries
+// (quantiles + _sum/_count) rather than native histogram buckets: the
+// underlying histogram has 976 buckets, which would drown a text scrape.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Labels are rendered in the order given,
+// so callers keep a fixed order for a deterministic exposition.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing counter, safe for concurrent use.
+// Add is a single atomic add — hot paths update counters without locks or
+// allocations.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer gauge (depths, live connections), safe for
+// concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// entry is one registered metric.
+type entry struct {
+	kind   metricKind
+	name   string
+	help   string
+	labels string // pre-rendered {k="v",...}, or ""
+	scale  float64
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Collector emits dynamic samples at scrape time.
+type Collector func(*Exposition)
+
+// Registry owns named metrics and collectors and renders them as
+// Prometheus text. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	entries    []*entry
+	index      map[string]*entry // name+labels → entry
+	collectors []Collector
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*entry)}
+}
+
+// validName reports whether s is a legal Prometheus metric or label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders a label list as {k="v",...} with escaped values.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeValue escapes a label value per the text exposition format.
+func escapeValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string per the text exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// get returns the entry for (name, labels), creating it via mk on first
+// use. Re-registering the same series returns the same metric; a kind
+// mismatch is a programming error and panics.
+func (r *Registry) get(kind metricKind, name, help string, labels []Label, mk func(*entry)) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if en, ok := r.index[key]; ok {
+		if en.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", key, kind, en.kind))
+		}
+		return en
+	}
+	en := &entry{kind: kind, name: name, help: help, labels: ls}
+	mk(en)
+	r.entries = append(r.entries, en)
+	r.index[key] = en
+	return en
+}
+
+// Counter registers (or returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.get(counterKind, name, help, labels, func(en *entry) { en.c = &Counter{} }).c
+}
+
+// Gauge registers (or returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.get(gaugeKind, name, help, labels, func(en *entry) { en.g = &Gauge{} }).g
+}
+
+// Histogram registers (or returns) a histogram series, exposed as a
+// summary (p50/p90/p99/p999 + _sum/_count). scale multiplies exposed
+// values — 1e-9 publishes nanosecond recordings as seconds, 1 publishes
+// raw units (batch sizes).
+func (r *Registry) Histogram(name, help string, scale float64, labels ...Label) *Histogram {
+	if scale == 0 {
+		scale = 1
+	}
+	return r.get(histogramKind, name, help, labels, func(en *entry) {
+		en.h = &Histogram{}
+		en.scale = scale
+	}).h
+}
+
+// Collect registers a scrape-time collector for dynamic series (labels
+// that come and go, like per-session counters). Collectors run on every
+// exposition, outside the registry lock, in registration order; each is
+// responsible for emitting its samples in a deterministic order.
+func (r *Registry) Collect(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// sample is one exposition line-in-waiting.
+type sample struct {
+	family string
+	help   string
+	kind   metricKind
+	suffix string // "", "_sum" or "_count" (summary parts)
+	labels string // rendered, including any quantile label
+	fval   float64
+	uval   uint64
+	isUint bool
+}
+
+// Exposition accumulates samples for one scrape. Collectors append to it
+// through the typed emit methods.
+type Exposition struct {
+	samples []sample
+}
+
+// Counter emits one counter sample.
+func (e *Exposition) Counter(name, help string, v uint64, labels ...Label) {
+	e.samples = append(e.samples, sample{
+		family: name, help: help, kind: counterKind,
+		labels: renderLabels(labels), uval: v, isUint: true,
+	})
+}
+
+// Gauge emits one gauge sample.
+func (e *Exposition) Gauge(name, help string, v float64, labels ...Label) {
+	e.samples = append(e.samples, sample{
+		family: name, help: help, kind: gaugeKind,
+		labels: renderLabels(labels), fval: v,
+	})
+}
+
+// Summary emits one summary (quantiles + _sum/_count) from a histogram
+// snapshot, multiplying values by scale.
+func (e *Exposition) Summary(name, help string, s Summary, scale float64, labels ...Label) {
+	if scale == 0 {
+		scale = 1
+	}
+	e.emitSummary(name, help, renderLabels(labels), s, scale)
+}
+
+// gather snapshots registered metrics and runs the collectors.
+func (r *Registry) gather() *Exposition {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	e := &Exposition{}
+	for _, en := range entries {
+		switch en.kind {
+		case counterKind:
+			e.samples = append(e.samples, sample{
+				family: en.name, help: en.help, kind: counterKind,
+				labels: en.labels, uval: en.c.Value(), isUint: true,
+			})
+		case gaugeKind:
+			e.samples = append(e.samples, sample{
+				family: en.name, help: en.help, kind: gaugeKind,
+				labels: en.labels, fval: float64(en.g.Value()),
+			})
+		case histogramKind:
+			e.emitSummary(en.name, en.help, en.labels, en.h.Summary(), en.scale)
+		}
+	}
+	for _, c := range collectors {
+		c(e)
+	}
+	return e
+}
+
+// emitSummary is Exposition.Summary over an already-rendered label string.
+func (e *Exposition) emitSummary(name, help, base string, s Summary, scale float64) {
+	quantile := func(q string) string {
+		if base == "" {
+			return `{quantile="` + q + `"}`
+		}
+		return base[:len(base)-1] + `,quantile="` + q + `"}`
+	}
+	qs := [...]struct {
+		q string
+		v uint64
+	}{{"0.5", s.P50}, {"0.9", s.P90}, {"0.99", s.P99}, {"0.999", s.P999}}
+	for _, x := range qs {
+		e.samples = append(e.samples, sample{
+			family: name, help: help, kind: histogramKind,
+			labels: quantile(x.q), fval: float64(x.v) * scale,
+		})
+	}
+	e.samples = append(e.samples, sample{
+		family: name, help: help, kind: histogramKind, suffix: "_sum",
+		labels: base, fval: s.Mean * float64(s.Count) * scale,
+	})
+	e.samples = append(e.samples, sample{
+		family: name, help: help, kind: histogramKind, suffix: "_count",
+		labels: base, uval: s.Count, isUint: true,
+	})
+}
+
+// WritePrometheus renders every registered metric plus every collector's
+// samples in the Prometheus text exposition format: families sorted by
+// name, one # HELP/# TYPE header per family, samples in emission order
+// within a family. The output is deterministic given deterministic
+// collector emission order (obs_test.go pins it with a golden scrape).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	e := r.gather()
+	famOrder := make([]string, 0, 16)
+	byFam := make(map[string][]sample, 16)
+	for _, s := range e.samples {
+		if _, ok := byFam[s.family]; !ok {
+			famOrder = append(famOrder, s.family)
+		}
+		byFam[s.family] = append(byFam[s.family], s)
+	}
+	sort.Strings(famOrder)
+	var b strings.Builder
+	for _, fam := range famOrder {
+		ss := byFam[fam]
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam, escapeHelp(ss[0].help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, ss[0].kind)
+		for _, s := range ss {
+			b.WriteString(fam)
+			b.WriteString(s.suffix)
+			b.WriteString(s.labels)
+			b.WriteByte(' ')
+			if s.isUint {
+				b.WriteString(strconv.FormatUint(s.uval, 10))
+			} else {
+				b.WriteString(strconv.FormatFloat(s.fval, 'g', -1, 64))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the exposition over HTTP (mount at GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

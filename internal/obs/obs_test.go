@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// family sorting, HELP/TYPE headers, label rendering and escaping,
+// summary quantile/_sum/_count shape, and integer-exact counter values.
+// scripts/check_metrics.sh lints the same grammar against live binaries.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "Requests ingested.", Label{Key: "plane", Value: "0"}).Add(42)
+	r.Counter("t_requests_total", "Requests ingested.", Label{Key: "plane", Value: "1"}).Add(7)
+	r.Gauge("t_conns", "Open connections.").Set(3)
+	h := r.Histogram("t_batch", "Batch sizes.", 1)
+	for v := uint64(1); v <= 10; v++ {
+		h.Observe(v)
+	}
+	r.Collect(func(e *Exposition) {
+		e.Gauge("t_sessions", "Live sessions.", 2)
+		e.Counter("t_served_total", "Served per session.", 100,
+			Label{Key: "session", Value: `a"b\c`})
+	})
+
+	const want = `# HELP t_batch Batch sizes.
+# TYPE t_batch summary
+t_batch{quantile="0.5"} 5
+t_batch{quantile="0.9"} 9
+t_batch{quantile="0.99"} 10
+t_batch{quantile="0.999"} 10
+t_batch_sum 55
+t_batch_count 10
+# HELP t_conns Open connections.
+# TYPE t_conns gauge
+t_conns 3
+# HELP t_requests_total Requests ingested.
+# TYPE t_requests_total counter
+t_requests_total{plane="0"} 42
+t_requests_total{plane="1"} 7
+# HELP t_served_total Served per session.
+# TYPE t_served_total counter
+t_served_total{session="a\"b\\c"} 100
+# HELP t_sessions Live sessions.
+# TYPE t_sessions gauge
+t_sessions 2
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryGetOrCreate checks that re-registering a series returns
+// the same metric (so layers can share a registry without coordination).
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.")
+	b := r.Counter("x_total", "X.")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instance")
+	}
+	a.Add(5)
+	if b.Value() != 5 {
+		t.Fatalf("shared counter value = %d, want 5", b.Value())
+	}
+	if r.Counter("x_total", "X.", Label{Key: "k", Value: "v"}) == a {
+		t.Fatal("distinct label set must be a distinct series")
+	}
+}
+
+// TestRegistryConcurrent hammers counters, gauges and a histogram from
+// many goroutines while scraping concurrently; run under -race this
+// checks the whole read/write surface, and the final scrape must see
+// exactly the totals written.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.", 1e-9)
+
+	const workers = 8
+	const perWorker = 2000
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // concurrent scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if !strings.Contains(b.String(), "# TYPE h_seconds summary") {
+				t.Error("scrape lost the histogram family")
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(uint64(i%1000 + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if s := h.Summary(); s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+// TestHistogramSummary sanity-checks the digest against known samples.
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+	// Log2 buckets give <= 1/16 relative error on the upper quantiles.
+	if s.P50 < 50 || s.P50 > 54 {
+		t.Fatalf("p50 = %d", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Fatalf("p99 = %d", s.P99)
+	}
+}
+
+// TestRing checks sequence numbering, windowing and cursoring.
+func TestRing(t *testing.T) {
+	r := NewRing[int](4)
+	if ev, _ := r.Since(0); ev != nil {
+		t.Fatalf("empty ring returned %v", ev)
+	}
+	for i := 1; i <= 3; i++ {
+		if seq := r.Append(i * 10); seq != uint64(i) {
+			t.Fatalf("Append #%d returned seq %d", i, seq)
+		}
+	}
+	ev, first := r.Since(0)
+	if first != 1 || len(ev) != 3 || ev[0] != 10 || ev[2] != 30 {
+		t.Fatalf("Since(0) = %v first=%d", ev, first)
+	}
+	ev, first = r.Since(2)
+	if first != 3 || len(ev) != 1 || ev[0] != 30 {
+		t.Fatalf("Since(2) = %v first=%d", ev, first)
+	}
+	// Overflow the window: events 4..7 evict 1..3.
+	for i := 4; i <= 7; i++ {
+		r.Append(i * 10)
+	}
+	ev, first = r.Since(0)
+	if first != 4 || len(ev) != 4 || ev[0] != 40 || ev[3] != 70 {
+		t.Fatalf("after overflow Since(0) = %v first=%d", ev, first)
+	}
+	if ev, _ := r.Since(7); ev != nil {
+		t.Fatalf("Since(latest) = %v, want nil", ev)
+	}
+	if r.Count() != 7 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}

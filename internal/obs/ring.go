@@ -1,0 +1,62 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity event trace: a bounded window of the most
+// recent events, each carrying a 1-based sequence number, for
+// introspection streams (the engine's per-batch matching-churn deltas).
+// Append copies the value into a preallocated slot — no allocation on
+// the write path; readers cursor through Since and allocate only for
+// their own copy.
+type Ring[T any] struct {
+	mu  sync.Mutex
+	buf []T
+	n   uint64 // total events ever appended; the latest has seq n
+}
+
+// NewRing builds a ring retaining the last capacity events (min 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Append records v as the next event and returns its sequence number.
+func (r *Ring[T]) Append(v T) uint64 {
+	r.mu.Lock()
+	r.n++
+	r.buf[int((r.n-1)%uint64(len(r.buf)))] = v
+	n := r.n
+	r.mu.Unlock()
+	return n
+}
+
+// Count returns the total number of events ever appended.
+func (r *Ring[T]) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Since returns copies of the retained events with sequence number >
+// after, oldest first, plus the sequence number of the first returned
+// event (0 when none). Events older than the retention window are gone;
+// a reader that fell behind resumes at the oldest retained event.
+func (r *Ring[T]) Since(after uint64) ([]T, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	capacity := uint64(len(r.buf))
+	lo := after
+	if r.n > capacity && r.n-capacity > lo {
+		lo = r.n - capacity
+	}
+	if lo >= r.n {
+		return nil, 0
+	}
+	out := make([]T, 0, r.n-lo)
+	for seq := lo + 1; seq <= r.n; seq++ {
+		out = append(out, r.buf[int((seq-1)%capacity)])
+	}
+	return out, lo + 1
+}

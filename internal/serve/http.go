@@ -17,6 +17,7 @@ import (
 // the run's full SHA-256 spec hash:
 //
 //	GET  /healthz                      liveness + queue counters
+//	GET  /metrics                      Prometheus text exposition
 //	POST /api/v1/jobs                  submit a ScenarioSpec JSON list
 //	GET  /api/v1/jobs                  list all jobs
 //	GET  /api/v1/jobs/{id}             one job's status
@@ -41,6 +42,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.withJob(s.handleStatus))

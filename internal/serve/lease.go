@@ -190,8 +190,10 @@ func (j *job) reapExpired(now time.Time) []int {
 	return requeued
 }
 
-// logRequeued reports reaped leases; call it after releasing j.mu.
+// logRequeued reports and counts reaped leases; call it after releasing
+// j.mu.
 func (s *Server) logRequeued(j *job, requeued []int) {
+	s.met.leasesExpired.Add(uint64(len(requeued)))
 	for _, k := range requeued {
 		s.opt.Logf("serve: job %.12s shard %d lease expired — requeued", j.id, k)
 	}
@@ -322,6 +324,7 @@ func (s *Server) lease(j *job, worker string) (Lease, error) {
 	}
 	j.mu.Unlock()
 	s.logRequeued(j, requeued)
+	s.met.leasesGranted.Inc()
 	s.opt.Logf("serve: job %.12s shard %d/%d leased to %s (%d grid jobs, attempt %d)",
 		j.id, index, l.Shards, worker, l.Jobs, attempt)
 	j.publish()
@@ -351,6 +354,7 @@ func (s *Server) heartbeat(j *job, shard int, token string, done int) (time.Dura
 	j.done = j.fleetDone()
 	j.mu.Unlock()
 	s.logRequeued(j, requeued)
+	s.met.heartbeats.Inc()
 	j.publish()
 	return s.opt.LeaseTTL, nil
 }
@@ -426,11 +430,13 @@ func (s *Server) completeShard(j *job, shard int, token, worker, failMsg string,
 		// retry; the job keeps running.
 		return Status{}, fmt.Errorf("%w: job %.12s shard %d: %v", ErrStorage, j.id, shard, storageErr)
 	}
+	s.met.absorbedRecords.Add(uint64(added))
 	if aerr != nil {
 		if errors.Is(aerr, report.ErrOutcomeConflict) {
 			// A conflicting outcome is not noise — identical seeds must
 			// mean identical costs. Fail the job loudly; resubmission
 			// re-enqueues it with the store intact.
+			s.met.absorbConflicts.Inc()
 			s.finishJob(j, fmt.Errorf("absorbing shard %d from %s: %w", shard, worker, aerr))
 			return Status{}, aerr
 		}
@@ -439,6 +445,7 @@ func (s *Server) completeShard(j *job, shard int, token, worker, failMsg string,
 		// this upload, never the job: every record absorbed before the
 		// bad line is already durable, the shard stays leased until its
 		// TTL reaps it, and a re-run re-delivers the rest.
+		s.met.uploadsRejected.Inc()
 		s.opt.Logf("serve: job %.12s shard %d: rejected upload from %s after %d records: %v", j.id, shard, worker, added, aerr)
 		return Status{}, fmt.Errorf("serve: job %.12s shard %d: bad upload: %w", j.id, shard, aerr)
 	}
@@ -453,6 +460,9 @@ func (s *Server) completeShard(j *job, shard int, token, worker, failMsg string,
 			// The store now holds the whole shard: done, whoever the
 			// upload came from. A superseded leaseholder learns via its
 			// next heartbeat (lease lost) and stands down.
+			if sh.phase != shardDone {
+				s.met.shardsCompleted.Inc()
+			}
 			sh.phase = shardDone
 			sh.token, sh.worker, sh.done = "", "", 0
 		case owns:
@@ -528,7 +538,11 @@ func (s *Server) shardStatuses(j *job) []ShardStatus {
 	if j.dist == nil {
 		return nil
 	}
-	j.reapExpired(time.Now())
+	// Atomic counter adds are safe under j.mu; requeues noticed by a
+	// status poll still count.
+	if reaped := j.reapExpired(time.Now()); len(reaped) > 0 {
+		s.met.leasesExpired.Add(uint64(len(reaped)))
+	}
 	out := make([]ShardStatus, len(j.dist.shards))
 	for k := range j.dist.shards {
 		sh := &j.dist.shards[k]

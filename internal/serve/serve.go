@@ -45,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"obm/internal/obs"
 	"obm/internal/report"
 	"obm/internal/sim"
 )
@@ -85,6 +86,10 @@ type Options struct {
 	ShardSize int
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, is where the server registers its
+	// obm_serve_* and obm_grid_* metrics (nil gets a private registry).
+	// Either way the exposition is served at GET /metrics.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -214,6 +219,9 @@ func (j *job) publish() { j.events().publish(j.status()) }
 // http.Server, stop with Shutdown.
 type Server struct {
 	opt Options
+	reg *obs.Registry
+	met serverMetrics
+	sim *sim.Metrics // obm_grid_* instruments for locally executed grids
 
 	mu       sync.Mutex
 	jobs     map[string]*job // by spec hash
@@ -240,11 +248,19 @@ func New(opt Options) (*Server, error) {
 	if err := os.MkdirAll(opt.StoreRoot, 0o755); err != nil {
 		return nil, err
 	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		opt:  opt,
+		reg:  reg,
+		met:  newServerMetrics(reg),
+		sim:  sim.NewMetrics(reg),
 		jobs: make(map[string]*job),
 		stop: make(chan struct{}),
 	}
+	reg.Collect(s.collect)
 	recovered, err := s.recover()
 	if err != nil {
 		return nil, err
@@ -365,6 +381,7 @@ func (s *Server) Submit(specs []sim.ScenarioSpec) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
+	s.met.submissions.Inc()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -375,6 +392,9 @@ func (s *Server) Submit(specs []sim.ScenarioSpec) (Status, error) {
 		if st.State != StateFailed {
 			st.Cached = st.State == StateDone
 			s.mu.Unlock()
+			if st.Cached {
+				s.met.cacheHits.Inc()
+			}
 			return st, nil
 		}
 		// Failed jobs must not poison their hash: re-enqueue (the store
@@ -574,6 +594,7 @@ func (s *Server) runJob(j *job) {
 		Workers:   s.opt.GridWorkers,
 		ChunkSize: s.opt.ChunkSize,
 		Parallel:  s.opt.Parallel,
+		Metrics:   s.sim,
 		// sim reports every attempt (done counts failures and aborts
 		// too); job progress counts persisted successes only, so status
 		// never overstates what a resume would find in the store.

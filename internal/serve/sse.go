@@ -88,6 +88,8 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, j *job) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
+	s.met.sseSubscribers.Add(1)
+	defer s.met.sseSubscribers.Add(-1)
 	ch, done, cancel := j.events().subscribe()
 	defer cancel()
 	writeEvent := func(st Status) {

@@ -143,7 +143,7 @@ func loadReplayCheckpoint(blob []byte, m *costMeter, total int) (int, time.Durat
 // bit-identical to runSourceInto in every case — resumed, checkpointed or
 // both — because the algorithm snapshot round-trip is exact and the source
 // is deterministic under Reset.
-func runSourceCheckpointed(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk, ck ckHooks) error {
+func runSourceCheckpointed(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk, ck ckHooks, met *Metrics) error {
 	if err := validateCheckpoints(checkpoints, src.Len()); err != nil {
 		return err
 	}
@@ -153,8 +153,11 @@ func runSourceCheckpointed(ctx context.Context, res *RunResult, alg core.Algorit
 	start := 0
 	var elapsed time.Duration
 	if ck.load != nil {
-		if blob, ok := ck.load(); ok {
+		lt := time.Now()
+		blob, ok := ck.load()
+		if ok {
 			pos, el, err := loadReplayCheckpoint(blob, &m, src.Len())
+			met.loadTimed(time.Since(lt))
 			if err != nil {
 				// A checkpoint is an optimization: a corrupt, truncated or
 				// mismatched blob means a fresh replay, not a failed job.
@@ -203,7 +206,9 @@ func runSourceCheckpointed(ctx context.Context, res *RunResult, alg core.Algorit
 		elapsed += time.Since(t0)
 		fed += n - skip
 		i += n
+		met.chunkFed(n - skip)
 		if saving && fed >= ck.every {
+			st := time.Now()
 			blob, serr := saveReplayCheckpoint(&m, i, elapsed)
 			if serr != nil {
 				// The algorithm cannot snapshot (ablation variants): run the
@@ -212,6 +217,8 @@ func runSourceCheckpointed(ctx context.Context, res *RunResult, alg core.Algorit
 				saving = false
 			} else if err := ck.save(blob); err != nil {
 				return fmt.Errorf("sim: saving checkpoint at %d requests: %w", i, err)
+			} else {
+				met.saveTimed(time.Since(st))
 			}
 			fed = 0
 		}

@@ -117,6 +117,10 @@ type GridOptions struct {
 	LoadCheckpoint func(GridJob) ([]byte, bool)
 	// DropCheckpoint discards a job's checkpoint once the job completes.
 	DropCheckpoint func(GridJob)
+	// Metrics, when non-nil, receives replay observability (request/chunk
+	// throughput, executed jobs, fold and checkpoint timings). Purely
+	// observational: instrumented runs produce bit-identical outcomes.
+	Metrics *Metrics
 }
 
 // GridRow is one aggregated cell: the final costs of one (scenario,
@@ -369,6 +373,7 @@ func RunGridContext(ctx context.Context, specs []ScenarioSpec, opt GridOptions) 
 			}
 			if err == nil {
 				completed[ji] = true
+				opt.Metrics.jobDone()
 			}
 			if opt.Progress != nil {
 				opt.Progress(done, len(run), j.GridJob, err)
@@ -450,7 +455,7 @@ func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as
 	checkpoints := gridCheckpoints(src.Len(), opt.CurvePoints)
 	if opt.Parallel > 1 {
 		if sh, ok := alg.(*core.Sharded); ok && sh.Shards() > 1 {
-			if err := runSourceParallelInto(ctx, res, sh, src, spec.Alpha, checkpoints, chunk, opt.Parallel); err != nil {
+			if err := runSourceParallelInto(ctx, res, sh, src, spec.Alpha, checkpoints, chunk, opt.Parallel, opt.Metrics); err != nil {
 				return err
 			}
 			if opt.DropCheckpoint != nil {
@@ -471,9 +476,9 @@ func runGridJob(ctx context.Context, spec ScenarioSpec, model core.CostModel, as
 		ck.drop = func() { opt.DropCheckpoint(j) }
 	}
 	if ck.enabled() {
-		return runSourceCheckpointed(ctx, res, alg, src, spec.Alpha, checkpoints, chunk, ck)
+		return runSourceCheckpointed(ctx, res, alg, src, spec.Alpha, checkpoints, chunk, ck, opt.Metrics)
 	}
-	return runSourceInto(ctx, res, alg, src, spec.Alpha, checkpoints, chunk)
+	return runSourceInto(ctx, res, alg, src, spec.Alpha, checkpoints, chunk, opt.Metrics)
 }
 
 // WriteCSV emits the grid result as tidy CSV, one row per aggregated cell.

@@ -129,7 +129,7 @@ func getParallelScratch(shards, workers, ncp int) *parallelScratch {
 // experiment's identity.
 func RunSourceParallel(alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunkSize, workers int) (RunResult, error) {
 	var res RunResult
-	if err := runSourceParallelInto(context.Background(), &res, alg, src, alpha, checkpoints, trace.NewChunk(chunkSize), workers); err != nil {
+	if err := runSourceParallelInto(context.Background(), &res, alg, src, alpha, checkpoints, trace.NewChunk(chunkSize), workers, nil); err != nil {
 		return RunResult{}, err
 	}
 	return res, nil
@@ -139,10 +139,10 @@ func RunSourceParallel(alg core.Algorithm, src trace.Source, alpha float64, chec
 // and chunk buffers. The chunk buffer is only read on the caller's
 // goroutine (requests are copied into shard batches before workers see
 // them), so the grid scheduler's per-worker chunk is safe to pass in.
-func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk, workers int) error {
+func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk, workers int, met *Metrics) error {
 	sh, ok := alg.(*core.Sharded)
 	if !ok {
-		return runSourceInto(ctx, res, alg, src, alpha, checkpoints, chunk)
+		return runSourceInto(ctx, res, alg, src, alpha, checkpoints, chunk, met)
 	}
 	if err := validateCheckpoints(checkpoints, src.Len()); err != nil {
 		return err
@@ -174,6 +174,11 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 	// ever needing a fresh allocation in steady state.
 	free := sc.free
 
+	// Fold timing is per delivered batch, not per request, so the
+	// histogram mutex is touched at scatter granularity; hoisted out of
+	// the loop, the off path is one nil check per batch.
+	foldHist := met.foldHist()
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -188,6 +193,10 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 				if b == nil {
 					return
 				}
+				var t0 time.Time
+				if foldHist != nil {
+					t0 = time.Now()
+				}
 				s := b.shard
 				d := &finals[s]
 				prev := int32(0)
@@ -197,6 +206,9 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 					samples[s*ncp+int(mk.ci)] = cpSample{d.Routing, d.Reconfig}
 				}
 				sh.ApplyShard(s, alpha, b.reqs[prev:], d)
+				if foldHist != nil {
+					foldHist.ObserveDuration(time.Since(t0))
+				}
 				select {
 				case free <- b:
 				default:
@@ -276,6 +288,7 @@ func runSourceParallelInto(ctx context.Context, res *RunResult, alg core.Algorit
 				cur[s] = nil
 			}
 		}
+		met.chunkFed(n)
 	}
 	drain()
 	// Elapsed is the wall clock of the whole scatter/serve/merge section —

@@ -194,7 +194,7 @@ func TestParallelReplayCancellation(t *testing.T) {
 	cancel()
 	var res RunResult
 	err = runSourceParallelInto(ctx, &res, newGoldenAlg(t, "rbma", n, 4, 6, model),
-		ct.Source(), model.Alpha, []int{mat.Len()}, trace.NewChunk(1024), 4)
+		ct.Source(), model.Alpha, []int{mat.Len()}, trace.NewChunk(1024), 4, nil)
 	if err == nil {
 		t.Fatal("cancelled parallel replay returned nil error")
 	}
@@ -260,7 +260,7 @@ func TestParallelReplayAllocGrowth(t *testing.T) {
 	var res RunResult
 	run := func() {
 		sh.Reset()
-		if err := runSourceParallelInto(context.Background(), &res, sh, src, model.Alpha, cps, chunk, shards); err != nil {
+		if err := runSourceParallelInto(context.Background(), &res, sh, src, model.Alpha, cps, chunk, shards, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

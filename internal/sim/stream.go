@@ -22,7 +22,7 @@ import (
 // curves are bit-identical to RunCompiled over the materialized trace.
 func RunSource(alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunkSize int) (RunResult, error) {
 	var res RunResult
-	if err := runSourceInto(context.Background(), &res, alg, src, alpha, checkpoints, trace.NewChunk(chunkSize)); err != nil {
+	if err := runSourceInto(context.Background(), &res, alg, src, alpha, checkpoints, trace.NewChunk(chunkSize), nil); err != nil {
 		return RunResult{}, err
 	}
 	return res, nil
@@ -35,7 +35,7 @@ func RunSource(alg core.Algorithm, src trace.Source, alpha float64, checkpoints 
 // the replay within one chunk's worth of requests, never mid-chunk, so
 // costs are either complete or discarded (a partial replay is an error,
 // not a shorter curve).
-func runSourceInto(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk) error {
+func runSourceInto(ctx context.Context, res *RunResult, alg core.Algorithm, src trace.Source, alpha float64, checkpoints []int, chunk *trace.CompiledChunk, met *Metrics) error {
 	if err := validateCheckpoints(checkpoints, src.Len()); err != nil {
 		return err
 	}
@@ -70,6 +70,7 @@ func runSourceInto(ctx context.Context, res *RunResult, alg core.Algorithm, src 
 			i++
 		}
 		elapsed += time.Since(start)
+		met.chunkFed(n)
 	}
 	res.Elapsed = elapsed
 	if i != src.Len() {
@@ -85,6 +86,6 @@ func runSourceInto(ctx context.Context, res *RunResult, alg core.Algorithm, src 
 func RunAveragedSource(f AlgFactory, src trace.Source, alpha float64, checkpoints []int, reps, chunkSize int) (Averaged, error) {
 	chunk := trace.NewChunk(chunkSize)
 	return runAveraged(f, reps, nil, func(res *RunResult, alg core.Algorithm) error {
-		return runSourceInto(context.Background(), res, alg, src, alpha, checkpoints, chunk)
+		return runSourceInto(context.Background(), res, alg, src, alpha, checkpoints, chunk, nil)
 	})
 }

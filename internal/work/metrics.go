@@ -1,0 +1,32 @@
+package work
+
+import (
+	"obm/internal/obs"
+)
+
+// workerMetrics are the fleet-worker obm_work_* series. The shard replay
+// itself reports through the shared obm_grid_* instruments (sim.Metrics)
+// wired into every leased shard's GridOptions.
+type workerMetrics struct {
+	leases          *obs.Counter // shard leases acquired from the coordinator
+	shardsCompleted *obs.Counter // shards executed and uploaded cleanly
+	handoffs        *obs.Counter // partial logs handed off at shutdown
+	heartbeats      *obs.Counter // lease renewals acknowledged (HTTP 200)
+	leaseLost       *obs.Counter // leases revoked under us (heartbeat 409)
+	uploadErrors    *obs.Counter // failed log uploads (local log kept)
+}
+
+func newWorkerMetrics(r *obs.Registry) workerMetrics {
+	return workerMetrics{
+		leases:          r.Counter("obm_work_leases_total", "Shard leases acquired from the coordinator."),
+		shardsCompleted: r.Counter("obm_work_shards_completed_total", "Shards executed and uploaded cleanly."),
+		handoffs:        r.Counter("obm_work_handoffs_total", "Partial shard logs handed off to the coordinator at shutdown."),
+		heartbeats:      r.Counter("obm_work_heartbeats_total", "Lease renewals acknowledged by the coordinator."),
+		leaseLost:       r.Counter("obm_work_lease_lost_total", "Leases revoked under this worker (heartbeat answered 409)."),
+		uploadErrors:    r.Counter("obm_work_upload_errors_total", "Failed shard-log uploads (the local log is kept)."),
+	}
+}
+
+// Registry returns the worker's metrics registry, for callers that want
+// to expose it over HTTP (`experiments worker -metrics`).
+func (r *Runner) Registry() *obs.Registry { return r.reg }

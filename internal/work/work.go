@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"obm/internal/obs"
 	"obm/internal/report"
 	"obm/internal/serve"
 	"obm/internal/sim"
@@ -82,6 +83,9 @@ type Options struct {
 	HTTPClient *http.Client
 	// Logf, when non-nil, receives one line per lease/shard state change.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, is where the worker registers its
+	// obm_work_* and obm_grid_* metrics (nil gets a private registry).
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +117,9 @@ func (o Options) withDefaults() Options {
 // Runner is a fleet worker. Create with New, drive with Run.
 type Runner struct {
 	opt Options
+	reg *obs.Registry
+	met workerMetrics
+	sim *sim.Metrics // obm_grid_* instruments for leased-shard replays
 }
 
 // New validates opt and builds a Runner.
@@ -124,7 +131,11 @@ func New(opt Options) (*Runner, error) {
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Runner{opt: opt}, nil
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Runner{opt: opt, reg: reg, met: newWorkerMetrics(reg), sim: sim.NewMetrics(reg)}, nil
 }
 
 // Run leases and executes shards until ctx is cancelled, then waits for
@@ -160,6 +171,7 @@ func (r *Runner) Run(ctx context.Context) (completed int, err error) {
 			}
 			continue
 		}
+		r.met.leases.Inc()
 		wg.Add(1)
 		go func(l serve.Lease) {
 			defer wg.Done()
@@ -345,6 +357,7 @@ func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
 		ChunkSize:       r.opt.ChunkSize,
 		Parallel:        r.opt.Parallel,
 		CheckpointEvery: r.opt.CheckpointEvery,
+		Metrics:         r.sim,
 	})
 	if serr := store.Sync(); runErr == nil && serr != nil {
 		runErr = serr
@@ -370,8 +383,10 @@ func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
 		// past the absorbed jobs. The local store stays too: if *this*
 		// worker re-leases it, it also resumes its own mid-job checkpoints.
 		if uerr := r.upload(ctx, l, logPath, "worker shutdown"); uerr != nil {
+			r.met.uploadErrors.Inc()
 			r.opt.Logf("work: handing off shard %d of job %.12s: %v (local log kept)", l.Shard, l.JobID, uerr)
 		} else {
+			r.met.handoffs.Inc()
 			r.opt.Logf("work: %s handed off shard %d of job %.12s (%d jobs absorbed; shard requeued)",
 				r.opt.Name, l.Shard, l.JobID, store.Len())
 		}
@@ -382,6 +397,7 @@ func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
 		failMsg = runErr.Error()
 	}
 	if err := r.upload(ctx, l, logPath, failMsg); err != nil {
+		r.met.uploadErrors.Inc()
 		r.opt.Logf("work: uploading shard %d of job %.12s: %v (local log kept)", l.Shard, l.JobID, err)
 		return false
 	}
@@ -392,6 +408,7 @@ func (r *Runner) runShard(ctx context.Context, l serve.Lease) bool {
 	// The coordinator holds everything durable now; the local store is
 	// scratch and can go.
 	os.RemoveAll(r.shardDir(l))
+	r.met.shardsCompleted.Inc()
 	r.opt.Logf("work: %s completed shard %d/%d of job %.12s (%d grid jobs)", r.opt.Name, l.Shard, l.Shards, l.JobID, l.Jobs)
 	return true
 }
@@ -430,9 +447,13 @@ func (r *Runner) heartbeatLoop(ctx context.Context, l serve.Lease, store *report
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusConflict {
+			r.met.leaseLost.Inc()
 			leaseLost.Store(true)
 			cancel()
 			return
+		}
+		if resp.StatusCode == http.StatusOK {
+			r.met.heartbeats.Inc()
 		}
 	}
 }

@@ -87,11 +87,13 @@ curl -sf "http://$addr/healthz" >/dev/null
 
 # A 2-worker fleet. Workers poll fast so the smoke stays quick;
 # -checkpoint-every arms the mid-shard handoff exercised by the chaos leg.
+# Each worker exposes its obm_work_*/obm_grid_* metrics on its own port.
 worker_pids=()
 for w in 1 2; do
 	"$tmp/experiments" worker -coordinator "http://$addr" -capacity 2 \
 		-workdir "$tmp/w$w" -name "smoke-w$w" -poll 100ms \
 		-checkpoint-every 500000 -grid-workers 1 \
+		-metrics "127.0.0.1:$((port + 1 + w))" \
 		>"$tmp/worker$w.log" 2>&1 &
 	pids+=($!)
 	worker_pids+=($!)
@@ -142,6 +144,41 @@ curl -sf "http://$addr/api/v1/jobs/$job_id/summary.csv" >"$tmp/served.csv"
 if ! cmp -s "$tmp/served.csv" "$tmp/direct/summary.csv"; then
 	echo "smoke_distributed: fleet summary.csv differs from direct RunGrid:" >&2
 	diff "$tmp/served.csv" "$tmp/direct/summary.csv" >&2 || true
+	exit 1
+fi
+
+# Coordinator metrics: the drained job must show up as granted leases,
+# completed shards, absorbed records and a done job.
+metric() { sed -n "s/^$2 \\([0-9][0-9.e+]*\\)\$/\\1/p" <<<"$1"; }
+assert_ge() { # exposition metric-line floor label
+	v=$(metric "$1" "$2")
+	if [ -z "$v" ] || ! awk -v v="$v" -v f="$3" 'BEGIN { exit !(v >= f) }'; then
+		echo "smoke_distributed: $4: $2=$v, want >= $3" >&2
+		exit 1
+	fi
+}
+smetrics=$(curl -sf "http://$addr/metrics")
+assert_ge "$smetrics" 'obm_serve_leases_granted_total' 1 'coordinator'
+assert_ge "$smetrics" 'obm_serve_shards_completed_total' 1 'coordinator'
+assert_ge "$smetrics" 'obm_serve_absorbed_records_total' 12 'coordinator'
+assert_ge "$smetrics" 'obm_serve_jobs{state="done"}' 1 'coordinator'
+leases_before=$(metric "$smetrics" 'obm_serve_leases_granted_total')
+absorbed_before=$(metric "$smetrics" 'obm_serve_absorbed_records_total')
+
+# Worker metrics: across the fleet, every lease and replayed request is
+# accounted for (heartbeats may legitimately be zero — the first one fires
+# at TTL/3, which a fast shard never reaches).
+wleases=0
+wrequests=0
+for w in 1 2; do
+	wm=$(curl -sf "http://127.0.0.1:$((port + 1 + w))/metrics")
+	l=$(metric "$wm" 'obm_work_leases_total')
+	r=$(metric "$wm" 'obm_grid_requests_total')
+	wleases=$((wleases + ${l:-0}))
+	wrequests=$((wrequests + ${r:-0}))
+done
+if [ "$wleases" -lt 1 ] || [ "$wrequests" -lt 1 ]; then
+	echo "smoke_distributed: fleet metrics flat (leases=$wleases, grid requests=$wrequests)" >&2
 	exit 1
 fi
 
@@ -226,6 +263,13 @@ if ! cmp -s "$tmp/served2.csv" "$tmp/direct2/summary.csv"; then
 	diff "$tmp/served2.csv" "$tmp/direct2/summary.csv" >&2 || true
 	exit 1
 fi
+
+# A post-chaos scrape must be monotone on the counters and show both jobs
+# done; the handed-off shard's partial log counts as absorbed records.
+smetrics2=$(curl -sf "http://$addr/metrics")
+assert_ge "$smetrics2" 'obm_serve_leases_granted_total' "$leases_before" 'coordinator (post-chaos)'
+assert_ge "$smetrics2" 'obm_serve_absorbed_records_total' "$absorbed_before" 'coordinator (post-chaos)'
+assert_ge "$smetrics2" 'obm_serve_jobs{state="done"}' 2 'coordinator (post-chaos)'
 
 # Graceful fleet + coordinator shutdown must exit zero (the surviving
 # worker and the coordinator; worker 1 was already SIGINTed by the chaos

@@ -55,9 +55,11 @@ curl -sf "http://$addr/healthz" >/dev/null
 
 # Loadgen with -verify: two connections, each a session + workload stream,
 # costs checked bit-for-bit against offline replay after draining.
+# -report-every exercises the client-side progress reporter (the run may
+# finish before the first tick, so only the exit status is asserted).
 "$tmp/experiments" loadgen -ingest "$ingest" -control "http://$addr" \
 	-family uniform -racks 48 -requests 300000 -conns 2 -seed 7 \
-	-verify -keep | tee "$tmp/loadgen.out"
+	-report-every 25ms -verify -keep | tee "$tmp/loadgen.out"
 grep -q 'verify MATCH' "$tmp/loadgen.out"
 
 # Throughput floor on the aggregate rate loadgen reports.
@@ -77,6 +79,24 @@ fi
 status=$(curl -sf "http://$addr/api/v1/sessions/loadgen-0")
 grep -q '"served": 300000' <<<"$status"
 grep -q '"p99_us"' <<<"$status"
+
+# The metrics exposition must carry the ingest counters (2 conns x 300000
+# requests), the per-session series, and the batch-size summary.
+metrics=$(curl -sf "http://$addr/metrics")
+ingested=$(sed -n 's/^obm_engine_ingest_requests_total \([0-9]*\)$/\1/p' <<<"$metrics")
+if [ -z "$ingested" ] || [ "$ingested" -lt 600000 ]; then
+	echo "smoke_engine: obm_engine_ingest_requests_total=$ingested, want >= 600000" >&2
+	exit 1
+fi
+grep -q '^obm_engine_session_served_total{session="loadgen-0"} 300000$' <<<"$metrics"
+grep -q '^obm_engine_batch_requests{quantile="0.5"}' <<<"$metrics"
+grep -q '^obm_engine_session_batch_seconds_count{session="loadgen-0"}' <<<"$metrics"
+
+# The churn stream must replay per-batch matching deltas for the session.
+churn=$(curl -sf "http://$addr/api/v1/sessions/loadgen-0/churn")
+grep -q '"adds":' <<<"$churn"
+grep -q '"reconfig_delta":' <<<"$churn"
+
 served=$(curl -sf -X POST --data '{"u":1,"v":2}' \
 	"http://$addr/api/v1/sessions/loadgen-0/serve" |
 	sed -n 's/.*"served": \([0-9]*\).*/\1/p')
@@ -84,6 +104,16 @@ if [ "$served" != "300001" ]; then
 	echo "smoke_engine: HTTP serve did not advance the counter (served=$served)" >&2
 	exit 1
 fi
+
+# A second scrape must be monotone on the ingest counter and reflect the
+# HTTP-served request in the per-session series.
+metrics2=$(curl -sf "http://$addr/metrics")
+ingested2=$(sed -n 's/^obm_engine_ingest_requests_total \([0-9]*\)$/\1/p' <<<"$metrics2")
+if [ -z "$ingested2" ] || [ "$ingested2" -lt "$ingested" ]; then
+	echo "smoke_engine: ingest counter went backwards ($ingested -> $ingested2)" >&2
+	exit 1
+fi
+grep -q '^obm_engine_session_served_total{session="loadgen-0"} 300001$' <<<"$metrics2"
 
 # pprof rides on the status port.
 curl -sf "http://$addr/debug/pprof/cmdline" >/dev/null

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"time"
 
 	"obm/internal/report"
 	"obm/internal/sim"
+	"obm/internal/wal"
 )
 
 // The coordinator side of distributed grid execution.
@@ -37,10 +39,13 @@ import (
 // therefore byte-identical to a single-process run regardless of worker
 // count, crashes, or duplicate completions.
 //
-// Lease state is deliberately in-memory only: the shard logs absorbed
-// into the job's store are the durable truth, so a coordinator crash
-// loses only lease bookkeeping — recovery re-enqueues the partial store
-// and the fleet (or the local pool) resumes past every absorbed job.
+// Lease state lives in memory but is journaled: every transition appends
+// one record to the job's lease WAL (see wal.go), so a restarted
+// coordinator replays the journal, re-arms live leases and requeues dead
+// ones — a fleet survives a coordinator crash without losing a shard.
+// The shard logs absorbed into the job's store remain the durable truth
+// for outcomes; a missing or corrupt WAL degrades to re-enqueue-and-
+// resume, never to wrong results.
 
 // shardPhase is a leasable shard's lifecycle state.
 type shardPhase string
@@ -155,14 +160,31 @@ func (s *Server) initDist(j *job) error {
 		}
 	}
 	store.Close()
-	j.absorbMu.Unlock()
 
+	// Attach the lease table and its journal while still holding absorbMu:
+	// two racing initDist calls must not both Create the WAL file (the
+	// loser's truncation would orphan the winner's handle). The losing
+	// racer re-checks j.dist under j.mu and touches nothing.
 	j.mu.Lock()
+	journaled := false
 	if j.dist == nil { // a concurrent lease may have won the race
 		j.dist = &distJob{shards: shards, recorded: recorded}
 		j.done = recorded
+		if !s.opt.NoLeaseWAL {
+			if lg, werr := wal.Create(filepath.Join(j.dir, leaseWALFile)); werr != nil {
+				s.opt.Logf("serve: job %.12s: lease WAL disabled: %v", j.id, werr)
+			} else {
+				j.wal = lg
+				s.walAppend(j, walRecInit(len(shards), recorded))
+				journaled = j.wal != nil
+			}
+		}
 	}
 	j.mu.Unlock()
+	j.absorbMu.Unlock()
+	if journaled {
+		s.crashAt(crashPostInit)
+	}
 	return nil
 }
 
@@ -276,6 +298,7 @@ func (s *Server) lease(j *job, worker string) (Lease, error) {
 		return Lease{}, ErrNoLease
 	}
 	requeued := j.reapExpired(now)
+	s.walRequeues(j, requeued)
 	var grant *shardState
 	var index int
 	for k := range j.dist.shards {
@@ -294,6 +317,9 @@ func (s *Server) lease(j *job, worker string) (Lease, error) {
 		}
 		j.mu.Unlock()
 		s.logRequeued(j, requeued)
+		if len(requeued) > 0 {
+			s.crashAt(crashPostRequeue)
+		}
 		if allDone {
 			// Every shard was already recorded when lease state was
 			// (re)built — e.g. a job that failed at the render step and
@@ -310,6 +336,7 @@ func (s *Server) lease(j *job, worker string) (Lease, error) {
 	grant.done = 0
 	grant.attempts++
 	attempt := grant.attempts
+	s.walAppend(j, walRecLease(index, grant))
 	m := j.manifest
 	l := Lease{
 		JobID:       j.id,
@@ -324,6 +351,10 @@ func (s *Server) lease(j *job, worker string) (Lease, error) {
 	}
 	j.mu.Unlock()
 	s.logRequeued(j, requeued)
+	if len(requeued) > 0 {
+		s.crashAt(crashPostRequeue)
+	}
+	s.crashAt(crashPostLease)
 	s.met.leasesGranted.Inc()
 	s.opt.Logf("serve: job %.12s shard %d/%d leased to %s (%d grid jobs, attempt %d)",
 		j.id, index, l.Shards, worker, l.Jobs, attempt)
@@ -341,19 +372,28 @@ func (s *Server) heartbeat(j *job, shard int, token string, done int) (time.Dura
 		return 0, ErrLeaseLost
 	}
 	requeued := j.reapExpired(time.Now())
+	s.walRequeues(j, requeued)
 	sh := &j.dist.shards[shard]
 	if sh.phase != shardLeased || sh.token != token {
 		j.mu.Unlock()
 		s.logRequeued(j, requeued)
+		if len(requeued) > 0 {
+			s.crashAt(crashPostRequeue)
+		}
 		return 0, ErrLeaseLost
 	}
 	sh.expires = time.Now().Add(s.opt.LeaseTTL)
 	if done > sh.done {
 		sh.done = done
 	}
+	s.walAppend(j, walRecHeartbeat(shard, sh))
 	j.done = j.fleetDone()
 	j.mu.Unlock()
 	s.logRequeued(j, requeued)
+	if len(requeued) > 0 {
+		s.crashAt(crashPostRequeue)
+	}
+	s.crashAt(crashPostHeartbeat)
 	s.met.heartbeats.Inc()
 	j.publish()
 	return s.opt.LeaseTTL, nil
@@ -450,7 +490,14 @@ func (s *Server) completeShard(j *job, shard int, token, worker, failMsg string,
 		return Status{}, fmt.Errorf("serve: job %.12s shard %d: bad upload: %w", j.id, shard, aerr)
 	}
 
+	// The upload is durable in the store; its WAL record comes next. A
+	// crash here is exactly the window the WAL may lag the store by —
+	// recovery reconciles every shard against the store, which already
+	// holds these records.
+	s.crashAt(crashPostStoreAbsorb)
+
 	var terminal bool
+	var crash crashPoint
 	j.mu.Lock()
 	if j.dist != nil && shard < len(j.dist.shards) {
 		sh := &j.dist.shards[shard]
@@ -459,28 +506,40 @@ func (s *Server) completeShard(j *job, shard int, token, worker, failMsg string,
 		case shardComplete:
 			// The store now holds the whole shard: done, whoever the
 			// upload came from. A superseded leaseholder learns via its
-			// next heartbeat (lease lost) and stands down.
+			// next heartbeat (lease lost) and stands down. Only an actual
+			// transition is journaled — replay rejects duplicate dones.
 			if sh.phase != shardDone {
 				s.met.shardsCompleted.Inc()
+				sh.phase = shardDone
+				sh.token, sh.worker, sh.done = "", "", 0
+				s.walAppend(j, walRecShardDone(shard, recorded))
+				crash = crashPostComplete
 			}
-			sh.phase = shardDone
-			sh.token, sh.worker, sh.done = "", "", 0
 		case owns:
 			// The current leaseholder failed or under-delivered: its
 			// partial work is absorbed, the shard requeues for another
 			// attempt.
 			sh.phase = shardPending
 			sh.token, sh.worker, sh.done = "", "", 0
+			s.walAppend(j, walRecAbsorb(shard, recorded))
+			crash = crashPostAbsorb
 		default:
 			// A stale partial upload from an expired lease: the absorbed
 			// records still count, but the shard's current owner keeps
 			// its lease undisturbed.
+			if added > 0 {
+				s.walAppend(j, walRecAbsorb(-1, recorded))
+				crash = crashPostAbsorb
+			}
 		}
 		j.dist.recorded = recorded
 		j.done = j.fleetDone()
 	}
 	terminal = missing == 0
 	j.mu.Unlock()
+	if crash != "" {
+		s.crashAt(crash)
+	}
 
 	if failMsg != "" {
 		s.opt.Logf("serve: job %.12s shard %d failed on %s (%s) — absorbed %d jobs, requeued", j.id, shard, worker, failMsg, added)
@@ -542,6 +601,7 @@ func (s *Server) shardStatuses(j *job) []ShardStatus {
 	// status poll still count.
 	if reaped := j.reapExpired(time.Now()); len(reaped) > 0 {
 		s.met.leasesExpired.Add(uint64(len(reaped)))
+		s.walRequeues(j, reaped)
 	}
 	out := make([]ShardStatus, len(j.dist.shards))
 	for k := range j.dist.shards {

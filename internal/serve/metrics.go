@@ -20,6 +20,11 @@ type serverMetrics struct {
 	absorbedRecords *obs.Counter // grid-job records folded in from uploads
 	uploadsRejected *obs.Counter // malformed/truncated shard uploads
 	sseSubscribers  *obs.Gauge   // open SSE event streams
+
+	walAppends         *obs.Counter // lease-WAL records appended
+	walReplayed        *obs.Counter // lease-WAL records replayed at recovery
+	walRecoveredLeases *obs.Counter // live leases re-armed from a replayed WAL
+	walDiscarded       *obs.Counter // lease WALs discarded (corrupt or stale)
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
@@ -34,6 +39,11 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		absorbedRecords: r.Counter("obm_serve_absorbed_records_total", "Grid-job records absorbed from shard uploads."),
 		uploadsRejected: r.Counter("obm_serve_uploads_rejected_total", "Malformed or truncated shard uploads rejected."),
 		sseSubscribers:  r.Gauge("obm_serve_sse_subscribers", "Open SSE progress streams."),
+
+		walAppends:         r.Counter("obm_serve_wal_appends_total", "Lease-state records appended to per-job WALs."),
+		walReplayed:        r.Counter("obm_serve_wal_replayed_records_total", "Lease-WAL records replayed during crash recovery."),
+		walRecoveredLeases: r.Counter("obm_serve_wal_recovered_leases_total", "Live shard leases re-armed from a replayed WAL."),
+		walDiscarded:       r.Counter("obm_serve_wal_discarded_total", "Lease WALs discarded at recovery (corrupt, stale, or mismatched)."),
 	}
 }
 

@@ -24,6 +24,7 @@
 //	├── <spec-hash[:16]>/    one run store per submitted grid
 //	│   ├── manifest.json    (written at submission — the durable queue)
 //	│   ├── jobs.jsonl       (appended as the grid executes)
+//	│   ├── lease.wal        (fleet lease journal, while a fleet drains it)
 //	│   ├── summary.csv      (rendered on completion)
 //	│   └── report.md        (rendered on completion)
 //	└── queue.json           (pending order, written on graceful shutdown)
@@ -48,6 +49,7 @@ import (
 	"obm/internal/obs"
 	"obm/internal/report"
 	"obm/internal/sim"
+	"obm/internal/wal"
 )
 
 // Options configures a Server.
@@ -84,6 +86,11 @@ type Options struct {
 	// a job's grid is partitioned into ceil(total/ShardSize) modulo
 	// shards (default 16).
 	ShardSize int
+	// NoLeaseWAL disables the per-job lease WAL. A coordinator crash then
+	// loses lease bookkeeping (every outstanding lease is stranded until
+	// the fleet re-claims the job) but never loses results — the store is
+	// the durable truth either way. For debugging and comparison only.
+	NoLeaseWAL bool
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 	// Registry, when non-nil, is where the server registers its
@@ -160,6 +167,7 @@ type job struct {
 	finishedAt time.Time
 	cancel     context.CancelFunc // set while running locally
 	dist       *distJob           // lease state, created on the first fleet lease
+	wal        *wal.Log           // lease-state journal; nil until the first fleet lease, after an append failure, or with NoLeaseWAL
 	hub        *hub
 
 	// absorbMu serializes shard-log absorption into the job's store
@@ -234,6 +242,12 @@ type Server struct {
 	stop     chan struct{} // closed by Shutdown: workers stop dequeuing
 	wg       sync.WaitGroup
 	shutOnce sync.Once
+
+	// crashHook, when non-nil, is invoked at every lease-WAL persistence
+	// boundary (see crashPoint). Production servers never set it; the
+	// fault-injection harness panics from it to simulate a coordinator
+	// dying at exactly that boundary. Set before any request traffic.
+	crashHook func(crashPoint)
 }
 
 // New builds the service and recovers the store root: finished stores
@@ -304,6 +318,7 @@ func (s *Server) recover() ([]*job, error) {
 		os.Remove(qPath) // consumed; from here the stores are the truth
 	}
 
+	now := time.Now()
 	seen := make(map[string]bool)
 	var pendingHashes []string
 	for _, h := range order {
@@ -345,15 +360,27 @@ func (s *Server) recover() ([]*job, error) {
 			// last append and Render); rendered artifacts are re-derivable,
 			// so artifact handlers re-render on demand instead of blocking
 			// startup here.
+			// A lease WAL next to a finished store is a stale journal of
+			// the run that completed it — never replay it.
+			os.Remove(filepath.Join(info.Dir, leaseWALFile))
 		} else {
 			j.state = StateQueued
+			// A lease WAL means a fleet was draining this job when the
+			// previous coordinator died; restore the lease table so live
+			// workers keep their shards (the job then skips the local
+			// queue — the fleet owns it again).
+			s.recoverDist(j, now)
 		}
 		s.jobs[h] = j
 		s.order = append(s.order, h)
 	}
 	for _, h := range pendingHashes {
-		recovered = append(recovered, s.jobs[h])
-		s.opt.Logf("serve: recovered job %.12s (%d/%d done)", h, s.jobs[h].done, s.jobs[h].total)
+		j := s.jobs[h]
+		if j.state != StateQueued {
+			continue // recovered straight into a live fleet claim from its lease WAL
+		}
+		recovered = append(recovered, j)
+		s.opt.Logf("serve: recovered job %.12s (%d/%d done)", h, j.done, j.total)
 	}
 	return recovered, nil
 }
@@ -408,6 +435,7 @@ func (s *Server) Submit(specs []sim.ScenarioSpec) (Status, error) {
 		j.claim = claimNone
 		j.dequeued = false
 		j.dist = nil // stale lease bookkeeping; a retry re-plans its shards
+		j.walDrop()  // and journals from scratch
 		j.errMsg = ""
 		j.finishedAt = time.Time{}
 		j.hub = newHub() // the failed run's hub is closed; subscribers need a live one
@@ -641,6 +669,7 @@ func (s *Server) finishJob(j *job, err error) {
 	}
 	j.claim = claimNone
 	j.cancel = nil
+	j.walDrop() // terminal state: the journal must never be replayed
 	j.finishedAt = time.Now()
 	if err != nil {
 		j.state = StateFailed
@@ -713,6 +742,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		h, terminal := j.hub, j.state == StateDone || j.state == StateFailed
+		if j.wal != nil {
+			// Keep the journal (the next process replays it and the fleet
+			// carries on) but flush and release the handle.
+			j.wal.Sync()
+			j.wal.Close()
+			j.wal = nil
+		}
 		j.mu.Unlock()
 		if !terminal {
 			h.close()

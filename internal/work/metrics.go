@@ -14,6 +14,7 @@ type workerMetrics struct {
 	heartbeats      *obs.Counter // lease renewals acknowledged (HTTP 200)
 	leaseLost       *obs.Counter // leases revoked under us (heartbeat 409)
 	uploadErrors    *obs.Counter // failed log uploads (local log kept)
+	uploadRetries   *obs.Counter // upload attempts retried (coordinator blip/restart)
 }
 
 func newWorkerMetrics(r *obs.Registry) workerMetrics {
@@ -24,6 +25,7 @@ func newWorkerMetrics(r *obs.Registry) workerMetrics {
 		heartbeats:      r.Counter("obm_work_heartbeats_total", "Lease renewals acknowledged by the coordinator."),
 		leaseLost:       r.Counter("obm_work_lease_lost_total", "Leases revoked under this worker (heartbeat answered 409)."),
 		uploadErrors:    r.Counter("obm_work_upload_errors_total", "Failed shard-log uploads (the local log is kept)."),
+		uploadRetries:   r.Counter("obm_work_upload_retries_total", "Shard-log upload attempts retried after a transport error or 5xx (coordinator blip or restart)."),
 	}
 }
 

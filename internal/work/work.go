@@ -458,15 +458,25 @@ func (r *Runner) heartbeatLoop(ctx context.Context, l serve.Lease, store *report
 	}
 }
 
+// uploadAttempts bounds the complete-endpoint retry loop; with the
+// doubling backoff below (200ms base) the last attempt lands ~12s after
+// the first — comfortably past a coordinator restart.
+const uploadAttempts = 6
+
 // upload POSTs the shard's jobs.jsonl to the complete endpoint. The
 // request is detached from the worker's shutdown cancellation (with its
 // own timeout): the shard's compute is already paid for, so a worker
 // told to stop right as a shard finishes still delivers it instead of
 // abandoning a completed log.
+//
+// Transport errors and 5xx answers retry with doubling backoff — that is
+// exactly what a coordinator mid-restart looks like (connection refused,
+// then 503, then a recovered lease table). Client-class answers are
+// final: a coordinator that *judged* the upload and rejected it will not
+// change its mind on a resend.
 func (r *Runner) upload(ctx context.Context, l serve.Lease, logPath, failMsg string) error {
 	uploadCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Minute)
 	defer cancel()
-	ctx = uploadCtx
 	blob, err := os.ReadFile(logPath)
 	if err != nil && !os.IsNotExist(err) {
 		return err
@@ -476,20 +486,41 @@ func (r *Runner) upload(ctx context.Context, l serve.Lease, logPath, failMsg str
 		q.Set("failed", failMsg)
 	}
 	url := fmt.Sprintf("%s/api/v1/jobs/%s/shards/%d/complete?%s", r.opt.Coordinator, l.JobID, l.Shard, q.Encode())
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := r.opt.HTTPClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+
+	backoff := 200 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < uploadAttempts; attempt++ {
+		if attempt > 0 {
+			r.met.uploadRetries.Inc()
+			r.opt.Logf("work: retrying upload of shard %d of job %.12s in %v: %v", l.Shard, l.JobID, backoff, lastErr)
+			select {
+			case <-uploadCtx.Done():
+				return lastErr
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(uploadCtx, http.MethodPost, url, bytes.NewReader(blob))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err := r.opt.HTTPClient.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("work: complete: HTTP %d: %s", resp.StatusCode, msg)
+		resp.Body.Close()
+		lastErr = fmt.Errorf("work: complete: HTTP %d: %s", resp.StatusCode, msg)
+		if resp.StatusCode < http.StatusInternalServerError {
+			return lastErr
+		}
 	}
-	io.Copy(io.Discard, resp.Body)
-	return nil
+	return lastErr
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -253,6 +254,91 @@ func TestFleetDrainWithKilledWorker(t *testing.T) {
 	want := directSummary(t, specs)
 	if !bytes.Equal(got.Bytes(), want) {
 		t.Errorf("fleet summary.csv differs from direct RunGrid:\n--- fleet\n%s--- direct\n%s", got.Bytes(), want)
+	}
+}
+
+// TestUploadRetriesAcrossCoordinatorBlip: the complete upload survives a
+// coordinator that is briefly unreachable or answering 5xx (the shape of
+// a restart), retries with backoff, and treats client-class rejections
+// as final.
+func TestUploadRetriesAcrossCoordinatorBlip(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "jobs.jsonl")
+	if err := os.WriteFile(logPath, []byte("{\"k\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls, status int
+	var lastBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		lastBody, _ = io.ReadAll(r.Body)
+		if calls < 3 {
+			w.WriteHeader(status)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	newRunner := func(transport http.RoundTripper) *Runner {
+		r, err := New(Options{
+			Coordinator: ts.URL,
+			Name:        "retrier",
+			Dir:         t.TempDir(),
+			HTTPClient:  &http.Client{Transport: transport},
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	l := serve.Lease{JobID: "job", Shard: 0, Token: "tok"}
+
+	// 5xx answers retry until the coordinator recovers.
+	calls, status = 0, http.StatusServiceUnavailable
+	r := newRunner(nil)
+	if err := r.upload(context.Background(), l, logPath, ""); err != nil {
+		t.Fatalf("upload through 503s: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("upload took %d attempts, want 3", calls)
+	}
+	if got := r.met.uploadRetries.Value(); got != 2 {
+		t.Fatalf("uploadRetries = %d, want 2", got)
+	}
+	if !bytes.Equal(lastBody, []byte("{\"k\":1}\n")) {
+		t.Fatalf("retried upload sent body %q: the reader was not rewound", lastBody)
+	}
+
+	// Transport errors (connection refused mid-restart) retry too.
+	calls, status = 0, http.StatusOK
+	var transportCalls int
+	r = newRunner(roundTripperFunc(func(req *http.Request) (*http.Response, error) {
+		transportCalls++
+		if transportCalls < 3 {
+			return nil, errors.New("connection refused")
+		}
+		return http.DefaultTransport.RoundTrip(req)
+	}))
+	if err := r.upload(context.Background(), l, logPath, ""); err != nil {
+		t.Fatalf("upload through transport errors: %v", err)
+	}
+	if transportCalls != 3 || calls != 1 {
+		t.Fatalf("transport attempts %d (want 3), server calls %d (want 1)", transportCalls, calls)
+	}
+
+	// A 4xx verdict is final: the coordinator judged the upload.
+	calls, status = 0, http.StatusConflict
+	r = newRunner(nil)
+	if err := r.upload(context.Background(), l, logPath, ""); err == nil {
+		t.Fatal("409 upload reported success")
+	}
+	if calls != 1 {
+		t.Fatalf("409 upload took %d attempts, want 1 (client errors are final)", calls)
+	}
+	if got := r.met.uploadRetries.Value(); got != 0 {
+		t.Fatalf("uploadRetries = %d after final 409, want 0", got)
 	}
 }
 

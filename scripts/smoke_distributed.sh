@@ -10,7 +10,11 @@
 #      every grid job necessarily flowed through shard leases;
 #   5. assert the served summary.csv is byte-identical to the direct run
 #      and that every shard reports done;
-#   6. stop the fleet and the coordinator gracefully (SIGINT).
+#   6. chaos: SIGINT a worker mid-shard (handoff + requeue), then
+#      kill -9 the coordinator mid-grid and restart it on the same
+#      store-root — the lease WAL must rebuild the job and the summary
+#      must still be byte-identical;
+#   7. stop the fleet and the coordinator gracefully (SIGINT).
 #
 # CI runs this as the distributed smoke job; docs/OPERATIONS.md points
 # here as the runnable form of the fleet runbook.
@@ -271,6 +275,111 @@ assert_ge "$smetrics2" 'obm_serve_leases_granted_total' "$leases_before" 'coordi
 assert_ge "$smetrics2" 'obm_serve_absorbed_records_total' "$absorbed_before" 'coordinator (post-chaos)'
 assert_ge "$smetrics2" 'obm_serve_jobs{state="done"}' 2 'coordinator (post-chaos)'
 
+# Coordinator-crash leg: submit a third grid, wait until the fleet holds
+# a lease on it, then kill -9 the coordinator — no Shutdown, no flush
+# beyond the per-append lease WAL. A fresh coordinator process on the
+# same store-root must replay the WAL, re-arm the outstanding lease
+# (the surviving worker's heartbeats and upload retries bridge the
+# outage), drain the job, and still produce a byte-identical summary.
+cat >"$tmp/specs3.json" <<'EOF'
+[
+  {
+    "name": "crash-ps",
+    "family": "phase-shift",
+    "racks": 16,
+    "requests": 20000000,
+    "seed": 31,
+    "bs": [2],
+    "reps": 1,
+    "algs": ["r-bma", "oblivious"]
+  }
+]
+EOF
+"$tmp/experiments" grid -scenarios "$tmp/specs3.json" -store "$tmp/direct3" \
+	-curve-points 10 -outdir "$tmp/direct3-out" -progress=false >/dev/null
+
+submit=$(curl -sf -X POST --data-binary @"$tmp/specs3.json" "http://$addr/api/v1/jobs")
+job3_id=$(sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' <<<"$submit")
+if [ -z "$job3_id" ]; then
+	echo "smoke_distributed: crash submission returned no job id: $submit" >&2
+	exit 1
+fi
+
+leased=""
+for _ in $(seq 1 200); do
+	shards=$(curl -sf "http://$addr/api/v1/jobs/$job3_id/shards" || true)
+	if grep -q '"state": "leased"' <<<"$shards"; then
+		leased=yes
+		break
+	fi
+	sleep 0.05
+done
+if [ -z "$leased" ]; then
+	echo "smoke_distributed: no worker ever leased a crash-leg shard:" >&2
+	curl -sf "http://$addr/api/v1/jobs/$job3_id/shards" >&2 || true
+	exit 1
+fi
+sleep 0.3 # let the replay get into the shard's interior
+
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+echo "smoke_distributed: coordinator killed -9 mid-grid; restarting on the same store-root"
+
+"$tmp/experiments" serve -addr "$addr" -store-root "$tmp/serve-root" \
+	-workers 0 -shard-size 2 -lease-ttl 10s \
+	>"$tmp/serve2.log" 2>&1 &
+pids+=($!)
+server_pid=$!
+for _ in $(seq 1 100); do
+	if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	if ! kill -0 "$server_pid" 2>/dev/null; then
+		echo "smoke_distributed: restarted coordinator died on startup:" >&2
+		cat "$tmp/serve2.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+curl -sf "http://$addr/healthz" >/dev/null
+
+# The restarted coordinator must have rebuilt the job from the lease WAL.
+smetrics3=$(curl -sf "http://$addr/metrics")
+assert_ge "$smetrics3" 'obm_serve_wal_replayed_records_total' 1 'coordinator (post-crash)'
+if [ -n "$(metric "$smetrics3" 'obm_serve_wal_discarded_total')" ] &&
+	[ "$(metric "$smetrics3" 'obm_serve_wal_discarded_total')" != "0" ]; then
+	echo "smoke_distributed: restarted coordinator discarded a lease WAL:" >&2
+	cat "$tmp/serve2.log" >&2
+	exit 1
+fi
+
+state=""
+for _ in $(seq 1 1200); do
+	status=$(curl -sf "http://$addr/api/v1/jobs/$job3_id" || true)
+	state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' <<<"$status")
+	case "$state" in
+	done) break ;;
+	failed)
+		echo "smoke_distributed: crash job failed: $status" >&2
+		cat "$tmp"/serve*.log "$tmp"/worker*.log >&2
+		exit 1
+		;;
+	esac
+	sleep 0.1
+done
+if [ "$state" != "done" ]; then
+	echo "smoke_distributed: crash job never finished (state=$state)" >&2
+	cat "$tmp"/serve*.log "$tmp"/worker*.log >&2
+	exit 1
+fi
+
+curl -sf "http://$addr/api/v1/jobs/$job3_id/summary.csv" >"$tmp/served3.csv"
+if ! cmp -s "$tmp/served3.csv" "$tmp/direct3/summary.csv"; then
+	echo "smoke_distributed: crash summary.csv differs from direct RunGrid:" >&2
+	diff "$tmp/served3.csv" "$tmp/direct3/summary.csv" >&2 || true
+	exit 1
+fi
+
 # Graceful fleet + coordinator shutdown must exit zero (the surviving
 # worker and the coordinator; worker 1 was already SIGINTed by the chaos
 # leg).
@@ -283,4 +392,4 @@ for ((i = ${#pids[@]} - 1; i >= 0; i--)); do
 done
 pids=()
 
-echo "smoke_distributed: OK (job $job_id drained by 2 workers, summary byte-identical; chaos job $job2_id survived a mid-shard worker kill byte-identically)"
+echo "smoke_distributed: OK (job $job_id drained by 2 workers, summary byte-identical; chaos job $job2_id survived a mid-shard worker kill byte-identically; crash job $job3_id survived a kill -9 coordinator restart byte-identically)"
